@@ -1,0 +1,82 @@
+// Command fwdbench drives a forwarding server (see cmd/fwdd) with the
+// paper's memory-to-memory microbenchmark: N client connections each write
+// a stream of fixed-size messages, and the aggregate sustained throughput
+// is reported.
+//
+//	fwdbench -addr 127.0.0.1:7070 -clients 32 -msg 1048576 -iters 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "server address")
+	clients := flag.Int("clients", 8, "concurrent client connections (compute nodes)")
+	msg := flag.Int("msg", 1<<20, "message size in bytes")
+	iters := flag.Int("iters", 100, "messages per client")
+	reads := flag.Bool("reads", false, "benchmark reads instead of writes")
+	flag.Parse()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := core.Dial("tcp", *addr)
+			if err != nil {
+				log.Fatalf("client %d: %v", c, err)
+			}
+			defer cl.Close()
+			f, err := cl.Open(fmt.Sprintf("bench/client%04d", c))
+			if err != nil {
+				log.Fatalf("client %d open: %v", c, err)
+			}
+			buf := make([]byte, *msg)
+			if *reads {
+				// Populate, then read back.
+				if _, err := f.Write(buf); err != nil {
+					log.Fatal(err)
+				}
+				if err := f.Sync(); err != nil {
+					log.Fatal(err)
+				}
+				for i := 0; i < *iters; i++ {
+					if _, err := f.ReadAt(buf, 0); err != nil {
+						log.Fatalf("client %d read %d: %v", c, i, err)
+					}
+				}
+			} else {
+				for i := 0; i < *iters; i++ {
+					if _, err := f.Write(buf); err != nil {
+						log.Fatalf("client %d write %d: %v", c, i, err)
+					}
+				}
+				if err := f.Sync(); err != nil {
+					log.Fatalf("client %d sync: %v", c, err)
+				}
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("client %d close: %v", c, err)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := int64(*clients) * int64(*iters) * int64(*msg)
+	op := "writes"
+	if *reads {
+		op = "reads"
+	}
+	fmt.Printf("%d clients x %d %s of %d bytes: %.1f MiB/s aggregate (%.2fs)\n",
+		*clients, *iters, op, *msg,
+		float64(total)/elapsed.Seconds()/(1<<20), elapsed.Seconds())
+}

@@ -1,0 +1,73 @@
+// Command fwdd runs a real I/O forwarding server (internal/core) on a TCP
+// address — the role of the ION-side daemon.
+//
+//	fwdd -listen :7070 -mode async -workers 4 -bml 256 -backend file -root /tmp/fwd
+//	fwdd -listen :7070 -mode direct -backend null
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "address to listen on")
+	mode := flag.String("mode", "async", "execution model: direct | workqueue | async")
+	workers := flag.Int("workers", 4, "worker pool size (paper default: 4)")
+	batch := flag.Int("batch", 8, "tasks dequeued per worker wakeup")
+	bmlMiB := flag.Int64("bml", 256, "staging memory cap in MiB")
+	backendKind := flag.String("backend", "mem", "backend: mem | null | file | sink")
+	root := flag.String("root", ".", "root directory for -backend file")
+	sinkMiBps := flag.Int64("sink-rate", 100, "bandwidth in MiB/s for -backend sink")
+	flag.Parse()
+
+	var m core.Mode
+	switch *mode {
+	case "direct":
+		m = core.ModeDirect
+	case "workqueue":
+		m = core.ModeWorkQueue
+	case "async":
+		m = core.ModeAsync
+	default:
+		fmt.Fprintf(os.Stderr, "fwdd: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	var backend core.Backend
+	switch *backendKind {
+	case "mem":
+		backend = core.NewMemBackend()
+	case "null":
+		backend = core.NullBackend{}
+	case "file":
+		backend = core.NewFileBackend(*root)
+	case "sink":
+		backend = core.NewSinkBackend(core.NewMemBackend(), *sinkMiBps<<20, 0)
+	default:
+		fmt.Fprintf(os.Stderr, "fwdd: unknown backend %q\n", *backendKind)
+		os.Exit(2)
+	}
+
+	srv := core.NewServer(core.Config{
+		Mode:     m,
+		Workers:  *workers,
+		Batch:    *batch,
+		BMLBytes: *bmlMiB << 20,
+		Backend:  backend,
+	})
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("fwdd: %s mode, %d workers, %d MiB BML, %s backend, listening on %s",
+		m, *workers, *bmlMiB, *backendKind, l.Addr())
+	if err := srv.Serve(l); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/experiments"
+)
+
+// runCalib prints the raw Section III calibration probes next to the
+// paper-reported targets, for tuning internal/bgp/params.go.
+func runCalib() {
+	const mib = bgp.MiB
+	fmt.Println("== nuttcp ION->DA (paper fig 5: 1->307, 4->791, 8->lower) ==")
+	for _, k := range []int{1, 2, 4, 8} {
+		r := experiments.RunNuttcpIONToDA(k, mib, 200)
+		fmt.Printf("  threads=%d  %7.1f MiB/s\n", k, r.ThroughputMiBps)
+	}
+	fmt.Println("== nuttcp DA->DA (paper: 1110 single stream) ==")
+	r := experiments.RunNuttcpDAToDA(1, mib, 200)
+	fmt.Printf("  threads=1  %7.1f MiB/s\n", r.ThroughputMiBps)
+
+	fmt.Println("== collective CN->ION /dev/null, 1 MiB (paper fig 4: peak ~680 at 4-8 CNs, drop >32) ==")
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		for _, mech := range []experiments.Mechanism{experiments.CIOD, experiments.ZOID} {
+			res := experiments.RunE2E(experiments.E2EConfig{
+				Mech: mech, Psets: 1, CNsPerPset: n, MsgBytes: mib, Iters: 60,
+			})
+			fmt.Printf("  cn=%2d %-14s %7.1f MiB/s\n", n, mech, res.ThroughputMiBps)
+		}
+	}
+
+	fmt.Println("== e2e CN->DA, 1 MiB (paper fig 6: CIOD/ZOID peak ~420; fig 9 @32: zoid~440 wq~540 async~617) ==")
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		for _, mech := range experiments.AllMechanisms {
+			res := experiments.RunE2E(experiments.E2EConfig{
+				Mech: mech, Psets: 1, CNsPerPset: n, DANodes: 1, MsgBytes: mib, Iters: 60, Workers: 4,
+			})
+			fmt.Printf("  cn=%2d %-14s %7.1f MiB/s\n", n, mech, res.ThroughputMiBps)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+// runFigure dispatches to the experiment runner for one paper figure.
+func runFigure(fig int, csv, quick bool) {
+	var t *stats.Table
+	switch fig {
+	case 4:
+		t = experiments.Figure4(quick)
+		// The paper's figure 4 also sweeps the buffer size; print that
+		// second axis at the full pset population.
+		defer func() {
+			sizes := experiments.Figure4MessageSizes(quick, 64)
+			if csv {
+				fmt.Print(sizes.CSV())
+			} else {
+				fmt.Print("\n" + sizes.Format())
+			}
+		}()
+	case 5:
+		t = experiments.Figure5(quick)
+	case 6:
+		t = experiments.Figure6(quick)
+	case 9:
+		t = experiments.Figure9(quick)
+	case 10:
+		t = experiments.Figure10(quick)
+	case 11:
+		t = experiments.Figure11(quick)
+	case 12:
+		t = experiments.Figure12(quick)
+	case 13:
+		t = experiments.Figure13(quick)
+	default:
+		fmt.Fprintf(os.Stderr, "iofsim: no runner for figure %d (have 4,5,6,9,10,11,12,13)\n", fig)
+		os.Exit(2)
+	}
+	if csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.Format())
+	}
+}

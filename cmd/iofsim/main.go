@@ -1,0 +1,52 @@
+// Command iofsim runs the simulated reproduction of the paper's
+// experiments. Each figure of the evaluation section (4-6, 9-13) has a
+// runner that prints the measured series as a text table, alongside the
+// values the paper reports where it states them exactly.
+//
+// Usage:
+//
+//	iofsim -fig 9          # reproduce figure 9
+//	iofsim -all            # reproduce every figure
+//	iofsim -calib          # print the Section III calibration probes
+//	iofsim -fig 12 -csv    # CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to reproduce (4, 5, 6, 9, 10, 11, 12, 13)")
+	all := flag.Bool("all", false, "reproduce every figure")
+	util := flag.Bool("util", false, "print the resource-utilization view of the figure-9 operating point")
+	calib := flag.Bool("calib", false, "print raw calibration probes")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	quick := flag.Bool("quick", false, "fewer iterations (faster, slightly noisier shapes)")
+	flag.Parse()
+
+	switch {
+	case *calib:
+		runCalib()
+	case *util:
+		t := experiments.Utilization(*quick)
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.Format())
+		}
+	case *all:
+		for _, f := range []int{4, 5, 6, 9, 10, 11, 12, 13} {
+			runFigure(f, *csv, *quick)
+			fmt.Println()
+		}
+	case *fig != 0:
+		runFigure(*fig, *csv, *quick)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

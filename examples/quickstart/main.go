@@ -1,0 +1,77 @@
+// Quickstart: run a forwarding server with asynchronous data staging over a
+// TCP loopback, write a file through it, observe a deferred-error-free
+// round trip, and print the server-side staging statistics.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// A forwarding server in the paper's full configuration: work-queue
+	// scheduling with 4 workers plus asynchronous data staging, backed by
+	// memory (stand-in for the ION's route to GPFS).
+	srv := core.NewServer(core.Config{
+		Mode:     core.ModeAsync,
+		Workers:  4,
+		Batch:    8,
+		BMLBytes: 64 << 20,
+		Backend:  core.NewMemBackend(),
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	defer srv.Close()
+
+	// The compute-node side: every I/O call ships to the server.
+	client, err := core.Dial("tcp", l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	f, err := client.Open("results/checkpoint-000.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	record := bytes.Repeat([]byte("science!"), 512) // 4 KiB
+	for i := 0; i < 256; i++ {
+		if _, err := f.Write(record); err != nil {
+			log.Fatalf("write %d: %v", i, err)
+		}
+	}
+	// Writes above were staged: they returned as soon as the server copied
+	// them. Sync drains the descriptor and reports any deferred error.
+	if err := f.Sync(); err != nil {
+		log.Fatalf("sync: %v", err)
+	}
+	size, err := f.Stat()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d bytes through the forwarder\n", size)
+
+	back := make([]byte, len(record))
+	if _, err := f.ReadAt(back, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back first record, intact: %v\n", bytes.Equal(back, record))
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := srv.Stats()
+	bml := srv.BMLStats()
+	fmt.Printf("server: %d ops, %d staged writes, %d worker batches\n",
+		st.Ops, st.StagedWrites, st.WorkerBatch)
+	fmt.Printf("BML: %d allocations (%d fresh), peak %d KiB\n",
+		bml.Allocs, bml.Fresh, bml.Peak/1024)
+}

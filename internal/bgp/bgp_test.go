@@ -1,0 +1,124 @@
+package bgp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCollectivePacketEfficiency(t *testing.T) {
+	p := Default()
+	// Paper III-A: 256-byte payload + 16-byte forwarding header + 10-byte
+	// hardware header gives ~90.8% efficiency and a ~731 MiB/s peak over
+	// the raw 850 MB/s.
+	if math.Abs(p.CollPacketEfficiency()-256.0/282.0) > 1e-12 {
+		t.Fatalf("efficiency %v", p.CollPacketEfficiency())
+	}
+	peak := p.CollPeakPayload() / MiB
+	if peak < 725 || peak > 740 {
+		t.Fatalf("packetized peak %.1f MiB/s, want ~731", peak)
+	}
+}
+
+func TestExtPeakPayloadNearTheoretical(t *testing.T) {
+	p := Default()
+	peak := p.ExtPeakPayload() / MiB
+	// Paper III-B: ~1190 MiB/s theoretical for 10 Gbps; framing trims a
+	// few percent.
+	if peak < 1100 || peak > 1195 {
+		t.Fatalf("external peak %.1f MiB/s", peak)
+	}
+}
+
+func TestCalibratedCostsMatchPaperAnchors(t *testing.T) {
+	p := Default()
+	// One ION core sustains 307 MiB/s of socket sends (III-B).
+	if got := 1.0 / p.IONSendCost / MiB; math.Abs(got-307) > 0.5 {
+		t.Fatalf("single-core send rate %.1f MiB/s, want 307", got)
+	}
+	// One DA stream sustains 1110 MiB/s (III-B).
+	if got := 1.0 / p.DASendCost / MiB; math.Abs(got-1110) > 0.5 {
+		t.Fatalf("DA send rate %.1f MiB/s, want 1110", got)
+	}
+	// Process dispatch must cost more than thread dispatch (II-B1 vs II-B2).
+	if p.IONCtrlCPUProc <= p.IONCtrlCPUThread {
+		t.Fatal("CIOD per-op cost not above ZOID's")
+	}
+}
+
+func TestMaxAchievable(t *testing.T) {
+	p := Default()
+	if got := p.MaxAchievable(680, 791); got != 680 {
+		t.Fatalf("MaxAchievable = %v", got)
+	}
+	if got := p.MaxAchievable(900, 791); got != 791 {
+		t.Fatalf("MaxAchievable = %v", got)
+	}
+}
+
+func TestMachineTopology(t *testing.T) {
+	e := sim.New(1)
+	m := NewMachine(e, Config{Psets: 4, CNsPerPset: 64, DANodes: 20})
+	if len(m.Psets) != 4 || len(m.DAs) != 20 {
+		t.Fatalf("topology %d psets, %d DAs", len(m.Psets), len(m.DAs))
+	}
+	if m.TotalCNs() != 256 {
+		t.Fatalf("total CNs %d", m.TotalCNs())
+	}
+	for i, ps := range m.Psets {
+		if ps.ION == nil || ps.Tree == nil || ps.ION.TreeDev == nil {
+			t.Fatalf("pset %d incomplete", i)
+		}
+		if ps.ION.CPU.Cores() != 4 {
+			t.Fatalf("ION %d has %d cores, want 4", i, ps.ION.CPU.Cores())
+		}
+	}
+	for i, da := range m.DAs {
+		if da.CPU.Cores() != 8 {
+			t.Fatalf("DA %d has %d cores", i, da.CPU.Cores())
+		}
+	}
+}
+
+func TestMachineConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for pset of 65 CNs")
+		}
+	}()
+	NewMachine(sim.New(1), Config{Psets: 1, CNsPerPset: 65})
+}
+
+func TestTreeFanInEfficiencyDeclines(t *testing.T) {
+	e := sim.New(1)
+	p := Default()
+	m := NewMachine(e, Config{Psets: 1, CNsPerPset: 64, Params: &p})
+	tree := m.Psets[0].Tree
+	// Time a lone transfer vs one of 64 concurrent transfers: fan-in must
+	// make the concurrent case worse than the ideal 64x slowdown.
+	var lone sim.Time
+	e.Spawn("lone", func(proc *sim.Proc) {
+		start := proc.Now()
+		tree.Transfer(proc, 1<<20)
+		lone = proc.Now() - start
+	})
+	e.Run(0)
+
+	e2 := sim.New(1)
+	m2 := NewMachine(e2, Config{Psets: 1, CNsPerPset: 64, Params: &p})
+	var longest sim.Time
+	for i := 0; i < 64; i++ {
+		e2.Spawn("t", func(proc *sim.Proc) {
+			start := proc.Now()
+			m2.Psets[0].Tree.Transfer(proc, 1<<20)
+			if d := proc.Now() - start; d > longest {
+				longest = d
+			}
+		})
+	}
+	e2.Run(0)
+	if longest <= 64*lone {
+		t.Fatalf("64-way fan-in took %v, ideal sharing is %v; no arbitration loss", longest, 64*lone)
+	}
+}

@@ -1,0 +1,129 @@
+package bgp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/simcpu"
+	"repro/internal/simnet"
+)
+
+// ION is an I/O node: a quad-core CPU, a 10 GbE NIC, and the tree-device
+// engine that serializes collective-network reception. One ION serves the
+// 64 compute nodes of its pset.
+type ION struct {
+	ID  int
+	CPU *simcpu.CPU
+	NIC *simnet.Link
+	// TreeDev is the tree DMA/descriptor engine: per-byte reception work
+	// that is ordered through the device rather than charged to forwarder
+	// threads.
+	TreeDev *sim.PS
+}
+
+// Pset is a group of compute nodes sharing one ION over a collective (tree)
+// network uplink (paper II-A: 64 nodes per pset).
+type Pset struct {
+	ID int
+	// Tree is the shared uplink from the pset's CNs to the ION. Both
+	// directions share the same fair-queued device model.
+	Tree *simnet.Link
+	ION  *ION
+	// CNs is the number of compute nodes in the pset.
+	CNs int
+}
+
+// DANode is a data-analysis (Eureka) node: fast Xeon CPU, 10 GbE NIC.
+type DANode struct {
+	ID  int
+	CPU *simcpu.CPU
+	NIC *simnet.Link
+}
+
+// Machine is a simulated slice of the ALCF: one or more psets, a set of DA
+// sink nodes, and the parameter table. File server nodes live in
+// internal/storage and attach via the same external network.
+type Machine struct {
+	Eng    *sim.Engine
+	P      Params
+	Psets  []*Pset
+	DAs    []*DANode
+}
+
+// Config selects the machine slice to build.
+type Config struct {
+	// Psets is the number of psets (each contributes one ION).
+	Psets int
+	// CNsPerPset is the number of compute nodes per pset (<= 64).
+	CNsPerPset int
+	// DANodes is the number of data-analysis sink nodes.
+	DANodes int
+	// Params overrides the default parameter table when non-nil.
+	Params *Params
+}
+
+// NewMachine builds the machine slice on the given engine.
+func NewMachine(e *sim.Engine, cfg Config) *Machine {
+	if cfg.Psets <= 0 || cfg.CNsPerPset <= 0 || cfg.CNsPerPset > 64 {
+		panic(fmt.Sprintf("bgp: invalid machine config %+v", cfg))
+	}
+	p := Default()
+	if cfg.Params != nil {
+		p = *cfg.Params
+	}
+	m := &Machine{Eng: e, P: p}
+	for i := 0; i < cfg.Psets; i++ {
+		tree := simnet.NewLink(e, fmt.Sprintf("tree%d", i), p.CollBandwidth)
+		tree.SetFraming(simnet.Framing{PayloadBytes: p.CollPayload, OverheadBytes: p.CollOverhead})
+		tree.SetLatency(p.CollLatency)
+		if p.CollShare > 0 {
+			share := p.CollShare
+			// Logarithmic fan-in loss: doubling the number of concurrent
+			// streams costs a fixed increment of arbitration overhead, so
+			// the decline is visible but does not collapse at 64 CNs.
+			tree.SetEfficiency(func(k int) float64 {
+				if k <= 1 {
+					return 1
+				}
+				return 1 / (1 + share*math.Log(float64(k)))
+			})
+		}
+		// Propagation latency is charged per connection (at open/teardown),
+		// not per chunk: TCP pipelines segments, so latency never
+		// serializes a stream's throughput.
+		nic := simnet.NewLink(e, fmt.Sprintf("ion%d-nic", i), p.ExtBandwidth)
+		nic.SetFraming(simnet.Framing{PayloadBytes: p.ExtPayload, OverheadBytes: p.ExtOverhead})
+		ion := &ION{
+			ID: i,
+			CPU: simcpu.New(e, simcpu.Config{
+				Name:   fmt.Sprintf("ion%d", i),
+				Cores:  p.IONCores,
+				Share:  p.IONShare,
+				Switch: p.IONSwitch,
+			}),
+			NIC:     nic,
+			TreeDev: sim.NewPS(e, 1, p.TreeDevBandwidth),
+		}
+		m.Psets = append(m.Psets, &Pset{ID: i, Tree: tree, ION: ion, CNs: cfg.CNsPerPset})
+	}
+	for i := 0; i < cfg.DANodes; i++ {
+		nic := simnet.NewLink(e, fmt.Sprintf("da%d-nic", i), p.ExtBandwidth)
+		nic.SetFraming(simnet.Framing{PayloadBytes: p.ExtPayload, OverheadBytes: p.ExtOverhead})
+		m.DAs = append(m.DAs, &DANode{
+			ID:  i,
+			CPU: simcpu.New(e, simcpu.Config{Name: fmt.Sprintf("da%d", i), Cores: p.DACores, Share: p.DAShare}),
+			NIC: nic,
+		})
+	}
+	return m
+}
+
+// TotalCNs returns the number of compute nodes across all psets.
+func (m *Machine) TotalCNs() int {
+	n := 0
+	for _, ps := range m.Psets {
+		n += ps.CNs
+	}
+	return n
+}

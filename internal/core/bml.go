@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// BML is the buffer management layer (paper Section IV): a capacity-bounded
+// pool of power-of-2-sized staging buffers. Get blocks while the pool is
+// exhausted — the paper's back-pressure rule for asynchronous staging — and
+// Put returns a buffer for reuse.
+type BML struct {
+	capacity int64
+	minClass int64
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	used  int64
+	free  map[int64][][]byte // class size -> stack of free buffers
+	stats BMLStats
+}
+
+// BMLStats reports pool behaviour.
+type BMLStats struct {
+	// Allocs is the number of Get calls satisfied.
+	Allocs uint64
+	// Fresh is how many of those required a new allocation (the rest were
+	// recycled).
+	Fresh uint64
+	// Stalls counts Gets that had to wait for capacity.
+	Stalls uint64
+	// Peak is the high-water mark of reserved bytes.
+	Peak int64
+}
+
+// minBMLClass is the smallest buffer class.
+const minBMLClass = 4 * 1024
+
+// NewBML returns a pool with the given capacity in bytes.
+func NewBML(capacity int64) *BML {
+	if capacity < minBMLClass {
+		panic(fmt.Sprintf("core: BML capacity %d below minimum class", capacity))
+	}
+	b := &BML{capacity: capacity, minClass: minBMLClass, free: make(map[int64][][]byte)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Capacity returns the configured pool size.
+func (b *BML) Capacity() int64 { return b.capacity }
+
+// Used returns the bytes currently reserved.
+func (b *BML) Used() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Stats returns a snapshot of the pool counters.
+func (b *BML) Stats() BMLStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// classFor rounds n up to the pool's power-of-2 class ("the buffer
+// management allocates buffers that are powers of 2 bytes").
+func classFor(n int) int64 {
+	if n <= minBMLClass {
+		return minBMLClass
+	}
+	return 1 << uint(bits.Len64(uint64(n-1)))
+}
+
+// Get returns a buffer whose capacity is the power-of-2 class holding n,
+// sliced to length n. It blocks while the pool is at capacity.
+func (b *BML) Get(n int) []byte {
+	c := classFor(n)
+	if c > b.capacity {
+		panic(fmt.Sprintf("core: buffer class %d exceeds BML capacity %d", c, b.capacity))
+	}
+	b.mu.Lock()
+	stalled := false
+	for b.used+c > b.capacity {
+		stalled = true
+		b.cond.Wait()
+	}
+	if stalled {
+		b.stats.Stalls++
+	}
+	b.used += c
+	if b.used > b.stats.Peak {
+		b.stats.Peak = b.used
+	}
+	b.stats.Allocs++
+	var buf []byte
+	if stack := b.free[c]; len(stack) > 0 {
+		buf = stack[len(stack)-1]
+		stack[len(stack)-1] = nil
+		b.free[c] = stack[:len(stack)-1]
+	} else {
+		b.stats.Fresh++
+	}
+	b.mu.Unlock()
+	if buf == nil {
+		buf = make([]byte, c)
+	}
+	return buf[:n]
+}
+
+// Put returns a buffer obtained from Get. The buffer must not be used after
+// Put.
+func (b *BML) Put(buf []byte) {
+	c := int64(cap(buf))
+	if c == 0 {
+		return
+	}
+	if c&(c-1) != 0 || c < b.minClass {
+		panic(fmt.Sprintf("core: Put of non-pool buffer (cap %d)", c))
+	}
+	b.mu.Lock()
+	if b.used < c {
+		b.mu.Unlock()
+		panic("core: BML Put without matching Get")
+	}
+	b.used -= c
+	b.free[c] = append(b.free[c], buf[:c])
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Client is the compute-node side of the forwarding protocol — the role of
+// the compute node kernel, which ships every I/O call to the I/O node. A
+// Client multiplexes concurrent requests from many goroutines over one
+// connection.
+type Client struct {
+	nc net.Conn
+
+	wmu sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *response
+	readErr error
+	done    chan struct{}
+}
+
+type response struct {
+	flags   uint16
+	errno   Errno
+	value   int64
+	payload []byte
+}
+
+// Dial connects to a forwarding server.
+func Dial(network, addr string) (*Client, error) {
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection (TCP, Unix socket, or one end
+// of a net.Pipe).
+func NewClient(nc net.Conn) *Client {
+	c := &Client{nc: nc, nextID: 1, pending: make(map[uint64]chan *response), done: make(chan struct{})}
+	go c.readLoop()
+	return c
+}
+
+// readLoop demultiplexes responses to their callers by request id.
+func (c *Client) readLoop() {
+	var h header
+	for {
+		if err := readHeader(c.nc, &h); err != nil {
+			c.fail(err)
+			return
+		}
+		var payload []byte
+		if h.length > 0 {
+			payload = make([]byte, h.length)
+			if _, err := io.ReadFull(c.nc, payload); err != nil {
+				c.fail(err)
+				return
+			}
+		}
+		c.mu.Lock()
+		ch := c.pending[h.reqID]
+		delete(c.pending, h.reqID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- &response{flags: h.flags, errno: Errno(h.pathLen), value: int64(h.offset), payload: payload}
+		}
+	}
+}
+
+// fail terminates every pending call with err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+		close(c.done)
+	}
+	pend := c.pending
+	c.pending = make(map[uint64]chan *response)
+	c.mu.Unlock()
+	for _, ch := range pend {
+		close(ch)
+	}
+}
+
+// call sends one request and waits for its response.
+func (c *Client) call(op Op, fd uint64, offset uint64, length uint32, path string, payload []byte) (*response, error) {
+	ch := make(chan *response, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("core: connection failed: %w", err)
+	}
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	h := header{op: op, reqID: id, fd: fd, offset: offset, length: length, pathLen: uint16(len(path))}
+	c.wmu.Lock()
+	err := writeFrame(c.nc, &h, []byte(path), payload)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("core: connection failed: %w", err)
+	}
+	return resp, nil
+}
+
+// respErr converts a response's status into a Go error, reconstructing
+// deferred-error reporting.
+func respErr(fd uint64, r *response) error {
+	if r.errno == EOK {
+		return nil
+	}
+	if r.flags&FlagDeferredErr != 0 {
+		return &DeferredError{FD: fd, Err: r.errno}
+	}
+	return r.errno
+}
+
+// Open opens (creating if needed) the named remote object.
+func (c *Client) Open(name string) (*File, error) {
+	if len(name) == 0 || len(name) > MaxPath {
+		return nil, EINVAL
+	}
+	r, err := c.call(OpOpen, 0, 0, 0, name, nil)
+	if err != nil {
+		return nil, err
+	}
+	if r.errno != EOK {
+		return nil, r.errno
+	}
+	return &File{c: c, fd: uint64(r.value), name: name}, nil
+}
+
+// Flush blocks until every staged operation on this connection has
+// completed on the server.
+func (c *Client) Flush() error {
+	r, err := c.call(OpFlush, 0, 0, 0, "", nil)
+	if err != nil {
+		return err
+	}
+	return respErr(0, r)
+}
+
+// Close tears down the connection. Outstanding staged writes are drained by
+// the server before their descriptors disappear.
+func (c *Client) Close() error {
+	err := c.nc.Close()
+	c.fail(ECLOSED)
+	return err
+}
+
+// File is an open remote descriptor.
+type File struct {
+	c    *Client
+	fd   uint64
+	name string
+}
+
+// Name returns the path the file was opened with.
+func (f *File) Name() string { return f.name }
+
+// Write appends b at the server-side cursor. Under an asynchronous-staging
+// server the data has been copied and queued when Write returns, not yet
+// executed; a returned *DeferredError reports a *previous* staged write's
+// failure while the current write was still accepted.
+func (f *File) Write(b []byte) (int, error) {
+	if len(b) > MaxPayload {
+		return 0, EINVAL
+	}
+	r, err := f.c.call(OpWrite, f.fd, 0, uint32(len(b)), "", b)
+	if err != nil {
+		return 0, err
+	}
+	return int(r.value), respErr(f.fd, r)
+}
+
+// WriteAt writes b at the given offset.
+func (f *File) WriteAt(b []byte, off int64) (int, error) {
+	if len(b) > MaxPayload || off < 0 {
+		return 0, EINVAL
+	}
+	r, err := f.c.call(OpPwrite, f.fd, uint64(off), uint32(len(b)), "", b)
+	if err != nil {
+		return 0, err
+	}
+	return int(r.value), respErr(f.fd, r)
+}
+
+// Read fills b from the server-side cursor. Reads always block for the
+// data and are ordered behind staged writes on the same descriptor.
+func (f *File) Read(b []byte) (int, error) {
+	if len(b) > MaxPayload {
+		return 0, EINVAL
+	}
+	r, err := f.c.call(OpRead, f.fd, 0, uint32(len(b)), "", nil)
+	if err != nil {
+		return 0, err
+	}
+	return copy(b, r.payload), respErr(f.fd, r)
+}
+
+// ReadAt fills b from the given offset.
+func (f *File) ReadAt(b []byte, off int64) (int, error) {
+	if len(b) > MaxPayload || off < 0 {
+		return 0, EINVAL
+	}
+	r, err := f.c.call(OpPread, f.fd, uint64(off), uint32(len(b)), "", nil)
+	if err != nil {
+		return 0, err
+	}
+	return copy(b, r.payload), respErr(f.fd, r)
+}
+
+// Sync drains staged operations on this descriptor and syncs the backend;
+// it reports any deferred error.
+func (f *File) Sync() error {
+	r, err := f.c.call(OpFsync, f.fd, 0, 0, "", nil)
+	if err != nil {
+		return err
+	}
+	return respErr(f.fd, r)
+}
+
+// Stat returns the remote object's current size.
+func (f *File) Stat() (int64, error) {
+	r, err := f.c.call(OpStat, f.fd, 0, 0, "", nil)
+	if err != nil {
+		return 0, err
+	}
+	return r.value, respErr(f.fd, r)
+}
+
+// PollError retrieves (and clears) a pending deferred error without
+// performing I/O.
+func (f *File) PollError() error {
+	r, err := f.c.call(OpErrPoll, f.fd, 0, 0, "", nil)
+	if err != nil {
+		return err
+	}
+	return respErr(f.fd, r)
+}
+
+// Close drains staged operations, closes the remote descriptor, and
+// reports any unconsumed deferred error.
+func (f *File) Close() error {
+	r, err := f.c.call(OpClose, f.fd, 0, 0, "", nil)
+	if err != nil {
+		return err
+	}
+	return respErr(f.fd, r)
+}

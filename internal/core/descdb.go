@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sync"
+)
+
+// descriptor is one open descriptor in the server's database (paper Section
+// IV): it tracks the backing handle, a cursor for sequential operations, an
+// operation counter, the set of in-progress staged operations, and the first
+// unreported deferred error.
+type descriptor struct {
+	fd     uint64
+	handle Handle
+	name   string
+
+	mu        sync.Mutex
+	cursor    int64
+	opCounter uint64
+	inFlight  int
+	completed uint64
+	pendErr   error
+	pendOp    uint64
+	closed    bool
+	idle      *sync.Cond // broadcast when inFlight drops to zero
+}
+
+func newDescriptor(fd uint64, name string, h Handle) *descriptor {
+	d := &descriptor{fd: fd, name: name, handle: h}
+	d.idle = sync.NewCond(&d.mu)
+	return d
+}
+
+// nextOffset reserves n bytes at the sequential cursor and returns the
+// operation's offset and counter. Reserving at staging time keeps cursor
+// writes correct even when workers complete them out of order.
+func (d *descriptor) nextOffset(n int64) (off int64, op uint64) {
+	d.mu.Lock()
+	off = d.cursor
+	d.cursor += n
+	d.opCounter++
+	op = d.opCounter
+	d.mu.Unlock()
+	return off, op
+}
+
+// at reserves an operation counter for a positional operation.
+func (d *descriptor) at() uint64 {
+	d.mu.Lock()
+	d.opCounter++
+	op := d.opCounter
+	d.mu.Unlock()
+	return op
+}
+
+// start records a staged operation beginning.
+func (d *descriptor) start() {
+	d.mu.Lock()
+	d.inFlight++
+	d.mu.Unlock()
+}
+
+// complete records a staged operation finishing with err.
+func (d *descriptor) complete(op uint64, err error) {
+	d.mu.Lock()
+	d.inFlight--
+	d.completed++
+	if err != nil && d.pendErr == nil {
+		d.pendErr = err
+		d.pendOp = op
+	}
+	if d.inFlight == 0 {
+		d.idle.Broadcast()
+	}
+	d.mu.Unlock()
+}
+
+// drain blocks until no staged operations are in flight.
+func (d *descriptor) drain() {
+	d.mu.Lock()
+	for d.inFlight > 0 {
+		d.idle.Wait()
+	}
+	d.mu.Unlock()
+}
+
+// takeError returns and clears the deferred error, if any.
+func (d *descriptor) takeError() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pendErr == nil {
+		return nil
+	}
+	err := &DeferredError{FD: d.fd, Op: d.pendOp, Err: d.pendErr}
+	d.pendErr = nil
+	return err
+}
+
+// descDB is the per-connection descriptor table.
+type descDB struct {
+	mu     sync.Mutex
+	nextFD uint64
+	byFD   map[uint64]*descriptor
+}
+
+func newDescDB() *descDB {
+	return &descDB{nextFD: 3, byFD: make(map[uint64]*descriptor)}
+}
+
+func (db *descDB) open(name string, h Handle) *descriptor {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	d := newDescriptor(db.nextFD, name, h)
+	db.nextFD++
+	db.byFD[d.fd] = d
+	return d
+}
+
+func (db *descDB) lookup(fd uint64) (*descriptor, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	d, ok := db.byFD[fd]
+	if !ok || d.closed {
+		return nil, false
+	}
+	return d, true
+}
+
+// remove drops the descriptor from the table; the caller drains it first.
+func (db *descDB) remove(fd uint64) {
+	db.mu.Lock()
+	if d, ok := db.byFD[fd]; ok {
+		d.closed = true
+		delete(db.byFD, fd)
+	}
+	db.mu.Unlock()
+}
+
+// all returns a snapshot of open descriptors.
+func (db *descDB) all() []*descriptor {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]*descriptor, 0, len(db.byFD))
+	for _, d := range db.byFD {
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+// Package core is a real, runnable I/O-forwarding library implementing the
+// system the paper describes — not a simulation. A client ships POSIX-like
+// I/O calls over a framed binary protocol to a forwarding server, which
+// executes them against a pluggable backend. The server offers the paper's
+// three execution models:
+//
+//   - ModeDirect: the per-connection handler executes each operation
+//     itself, like stock ZOID's thread-per-client design (paper II-B2).
+//   - ModeWorkQueue: handlers enqueue operations on a shared FIFO work
+//     queue drained by a fixed worker pool that dequeues multiple requests
+//     per wakeup — the paper's I/O scheduling (Section IV, figure 7). The
+//     client still blocks until the operation completes.
+//   - ModeAsync: work-queue scheduling plus asynchronous data staging
+//     (Section IV, figure 8). Writes are copied into a buffer from the
+//     buffer management layer (BML) and acknowledged immediately; a
+//     descriptor database tracks in-progress operations, and errors from
+//     staged writes are reported on subsequent operations on the same
+//     descriptor, on Fsync, or on Close. When the BML memory cap is
+//     reached, staging blocks until completed operations return buffers.
+//     Opens, closes, and stats remain synchronous.
+//
+// Backends supply the terminal I/O: OS files (FileBackend), memory
+// (MemBackend), a discard target (NullBackend), and a rate-limited wrapper
+// (SinkBackend) that emulates the slow external sink — a 10 GbE link or a
+// busy filesystem — so the benchmarks show the same mechanism crossovers on
+// a laptop that the paper shows on Intrepid.
+package core

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync/atomic"
+)
+
+// Filter transforms data on the forwarding node before it reaches the
+// backend — the paper's future-work direction ("Since the compute
+// capabilities of the I/O forwarding nodes are usually underutilized, we
+// are investigating techniques to offload data filtering onto the I/O
+// forwarding nodes in order to reduce the amount of data written to storage
+// as well as to facilitate in situ analytics"), and the ZOID plug-in
+// mechanism it would ride on (paper II-B2).
+//
+// A Filter sees every write payload for the descriptors it is attached to.
+// It may observe the data (analytics), rewrite it, or shrink it (reduction)
+// by returning a different slice. Returned slices must remain valid until
+// the write executes; returning the input unmodified is the observe-only
+// case.
+type Filter interface {
+	// Name identifies the filter in statistics.
+	Name() string
+	// Apply processes one write payload destined for offset off of the
+	// named object and returns the bytes to actually store.
+	Apply(name string, off int64, data []byte) ([]byte, error)
+}
+
+// FilterChain composes filters in order; the output of one feeds the next.
+type FilterChain struct {
+	filters []Filter
+
+	in  atomic.Uint64
+	out atomic.Uint64
+}
+
+// NewFilterChain builds a chain. An empty chain passes data through.
+func NewFilterChain(filters ...Filter) *FilterChain {
+	return &FilterChain{filters: filters}
+}
+
+// Apply runs the chain.
+func (fc *FilterChain) Apply(name string, off int64, data []byte) ([]byte, error) {
+	fc.in.Add(uint64(len(data)))
+	var err error
+	for _, f := range fc.filters {
+		data, err = f.Apply(name, off, data)
+		if err != nil {
+			return nil, fmt.Errorf("core: filter %q: %w", f.Name(), err)
+		}
+	}
+	fc.out.Add(uint64(len(data)))
+	return data, nil
+}
+
+// Reduction reports bytes in and bytes out across the chain's lifetime —
+// "the amount of data written to storage" saved.
+func (fc *FilterChain) Reduction() (in, out uint64) {
+	return fc.in.Load(), fc.out.Load()
+}
+
+// --- Built-in filters ---
+
+// SubsampleFilter keeps every Nth fixed-size record — the classic in-situ
+// reduction for visualization-grade output.
+type SubsampleFilter struct {
+	// RecordBytes is the record granularity.
+	RecordBytes int
+	// Keep1InN keeps one record in every N.
+	Keep1InN int
+}
+
+// Name implements Filter.
+func (f *SubsampleFilter) Name() string { return "subsample" }
+
+// Apply implements Filter.
+func (f *SubsampleFilter) Apply(name string, off int64, data []byte) ([]byte, error) {
+	if f.RecordBytes <= 0 || f.Keep1InN <= 1 {
+		return data, nil
+	}
+	out := make([]byte, 0, len(data)/f.Keep1InN+f.RecordBytes)
+	for i, rec := 0, 0; i < len(data); i, rec = i+f.RecordBytes, rec+1 {
+		if rec%f.Keep1InN != 0 {
+			continue
+		}
+		end := min(i+f.RecordBytes, len(data))
+		out = append(out, data[i:end]...)
+	}
+	return out, nil
+}
+
+// ChecksumFilter observes the stream and maintains a running CRC32 per
+// object — in-situ integrity analytics with zero data reduction.
+type ChecksumFilter struct {
+	sums map[string]uint32
+}
+
+// NewChecksumFilter returns an empty checksum observer. It is not
+// goroutine-safe across objects written concurrently by multiple workers;
+// attach one per descriptor or serialize externally.
+func NewChecksumFilter() *ChecksumFilter {
+	return &ChecksumFilter{sums: make(map[string]uint32)}
+}
+
+// Name implements Filter.
+func (f *ChecksumFilter) Name() string { return "crc32" }
+
+// Apply implements Filter.
+func (f *ChecksumFilter) Apply(name string, off int64, data []byte) ([]byte, error) {
+	f.sums[name] = crc32.Update(f.sums[name], crc32.IEEETable, data)
+	return data, nil
+}
+
+// Sum returns the running checksum for an object.
+func (f *ChecksumFilter) Sum(name string) uint32 { return f.sums[name] }
+
+// MinMaxFilter computes running min/max of float64 samples — the kind of
+// lightweight statistic an in-situ analysis pipeline extracts while data
+// streams past the forwarding node.
+type MinMaxFilter struct {
+	mins map[string]float64
+	maxs map[string]float64
+	n    map[string]uint64
+}
+
+// NewMinMaxFilter returns an empty statistics observer.
+func NewMinMaxFilter() *MinMaxFilter {
+	return &MinMaxFilter{
+		mins: make(map[string]float64),
+		maxs: make(map[string]float64),
+		n:    make(map[string]uint64),
+	}
+}
+
+// Name implements Filter.
+func (f *MinMaxFilter) Name() string { return "minmax" }
+
+// Apply implements Filter.
+func (f *MinMaxFilter) Apply(name string, off int64, data []byte) ([]byte, error) {
+	for i := 0; i+8 <= len(data); i += 8 {
+		v := float64FromBits(binary.LittleEndian.Uint64(data[i:]))
+		if f.n[name] == 0 {
+			f.mins[name], f.maxs[name] = v, v
+		} else {
+			if v < f.mins[name] {
+				f.mins[name] = v
+			}
+			if v > f.maxs[name] {
+				f.maxs[name] = v
+			}
+		}
+		f.n[name]++
+	}
+	return data, nil
+}
+
+// Range returns the observed sample range and count for an object.
+func (f *MinMaxFilter) Range(name string) (lo, hi float64, n uint64) {
+	return f.mins[name], f.maxs[name], f.n[name]
+}
+
+// TruncateFilter caps each write to a byte budget — a degenerate reduction
+// used in tests and as a template.
+type TruncateFilter struct{ Max int }
+
+// Name implements Filter.
+func (f *TruncateFilter) Name() string { return "truncate" }
+
+// Apply implements Filter.
+func (f *TruncateFilter) Apply(name string, off int64, data []byte) ([]byte, error) {
+	if f.Max >= 0 && len(data) > f.Max {
+		return data[:f.Max], nil
+	}
+	return data, nil
+}
+
+func float64FromBits(b uint64) float64 {
+	return math.Float64frombits(b)
+}

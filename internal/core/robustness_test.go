@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestGarbageInputRejected feeds random bytes to a server connection: the
+// handler must reject the stream with an error, never panic or hang.
+func TestGarbageInputRejected(t *testing.T) {
+	srv := NewServer(Config{Mode: ModeAsync, Workers: 1})
+	defer srv.Close()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 32; trial++ {
+		cc, sc := net.Pipe()
+		done := make(chan error, 1)
+		go func() { done <- srv.ServeConn(sc) }()
+		junk := make([]byte, 8+rng.Intn(256))
+		rng.Read(junk)
+		_ = cc.SetWriteDeadline(time.Now().Add(time.Second))
+		_, _ = cc.Write(junk)
+		_ = cc.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("trial %d: server hung on garbage input", trial)
+		}
+	}
+}
+
+// TestTruncatedFrame: a header promising more payload than arrives must
+// terminate the connection cleanly and still drain prior staged work.
+func TestTruncatedFrame(t *testing.T) {
+	backend := NewMemBackend()
+	srv := NewServer(Config{Mode: ModeAsync, Workers: 1, Backend: backend})
+	defer srv.Close()
+	cc, sc := net.Pipe()
+	done := make(chan struct{})
+	go func() { _ = srv.ServeConn(sc); close(done) }()
+
+	c := NewClient(cc)
+	f, err := c.Open("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	// Handcraft a write header announcing 1 MiB, then send only 10 bytes
+	// and slam the connection.
+	h := header{op: OpWrite, reqID: 99, fd: f.fd, length: 1 << 20}
+	var hb [headerSize]byte
+	h.encode(&hb)
+	_, _ = cc.Write(hb[:])
+	_, _ = cc.Write(make([]byte, 10))
+	_ = cc.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server hung on truncated frame")
+	}
+	// The earlier staged write must have been executed during teardown.
+	if data, ok := backend.Bytes("t"); !ok || len(data) != 8192 {
+		t.Fatalf("staged write lost: %d bytes", len(data))
+	}
+}
+
+// TestClientFailsPendingCallsOnDisconnect: when the server side vanishes,
+// every in-flight and subsequent call errors out instead of hanging.
+func TestClientFailsPendingCallsOnDisconnect(t *testing.T) {
+	cc, sc := net.Pipe()
+	c := NewClient(cc)
+	errs := make(chan error, 1)
+	go func() {
+		_, err := c.Open("x")
+		errs <- err
+	}()
+	// Consume the request so the client is parked waiting for the reply,
+	// then kill the connection.
+	var hb [headerSize]byte
+	if _, err := io.ReadFull(sc, hb[:]); err != nil {
+		t.Fatal(err)
+	}
+	_ = sc.Close()
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Fatal("open succeeded on dead connection")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending call hung")
+	}
+	if _, err := c.Open("y"); err == nil {
+		t.Fatal("later call succeeded on dead connection")
+	}
+}
+
+// TestOversizedWriteRejectedClientSide: payloads above MaxPayload never hit
+// the wire.
+func TestOversizedWriteRejectedClientSide(t *testing.T) {
+	cc, _ := net.Pipe()
+	c := NewClient(cc)
+	defer c.Close()
+	f := &File{c: c, fd: 3}
+	if _, err := f.Write(make([]byte, MaxPayload+1)); !errors.Is(err, EINVAL) {
+		t.Fatalf("oversized write: %v", err)
+	}
+}
+
+// TestWorkerPoolSurvivesManyConnections cycles connections rapidly to
+// shake out leaks in teardown bookkeeping.
+func TestWorkerPoolSurvivesManyConnections(t *testing.T) {
+	srv := NewServer(Config{Mode: ModeAsync, Workers: 2})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	defer srv.Close()
+	for i := 0; i < 50; i++ {
+		c, err := Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := c.Open("churn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(make([]byte, 4096)); err != nil {
+			t.Fatal(err)
+		}
+		_ = c.Close() // abrupt: leaves the fd open, teardown must cope
+	}
+	// The pool still works afterwards.
+	c, err := Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f, err := c.Open("after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

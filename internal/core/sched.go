@@ -1,0 +1,118 @@
+package core
+
+import "sync"
+
+// task is one unit of queued I/O work (paper figure 7: the ZOID thread
+// enqueues the I/O task into the shared FIFO work queue).
+type task struct {
+	d     *descriptor
+	op    Op // OpWrite or OpRead
+	buf   []byte
+	off   int64
+	opNum uint64
+	// done, when non-nil, receives the result (synchronous scheduling);
+	// when nil the task is staged and its result goes to the descriptor
+	// database (asynchronous staging).
+	done chan error
+	// n is set to the byte count actually moved (reads).
+	n int
+}
+
+// taskQueue is the shared FIFO work queue: unbounded, multi-producer,
+// drained in batches by the worker pool.
+type taskQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*task
+	closed bool
+	peak   int
+}
+
+func newTaskQueue() *taskQueue {
+	q := &taskQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *taskQueue) put(t *task) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		panic("core: put on closed task queue")
+	}
+	q.items = append(q.items, t)
+	if len(q.items) > q.peak {
+		q.peak = len(q.items)
+	}
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// getBatch removes up to max tasks, blocking while the queue is empty. It
+// returns nil once the queue is closed and drained.
+func (q *taskQueue) getBatch(max int, out []*task) []*task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		if q.closed {
+			return nil
+		}
+		q.cond.Wait()
+	}
+	n := min(max, len(q.items))
+	out = append(out[:0], q.items[:n]...)
+	for i := 0; i < n; i++ {
+		q.items[i] = nil
+	}
+	q.items = q.items[n:]
+	return out
+}
+
+func (q *taskQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *taskQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// worker is one pool thread: it dequeues multiple I/O requests per wakeup
+// and executes them in its event loop (paper Section IV).
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	var batch []*task
+	for {
+		batch = s.queue.getBatch(s.cfg.Batch, batch)
+		if batch == nil {
+			return
+		}
+		s.batches.Add(1)
+		for _, t := range batch {
+			s.execute(t)
+		}
+	}
+}
+
+// execute runs one task and routes its result.
+func (s *Server) execute(t *task) {
+	var err error
+	switch t.op {
+	case OpWrite:
+		_, err = t.d.handle.WriteAt(t.buf, t.off)
+		s.bml.Put(t.buf)
+	case OpRead:
+		t.n, err = t.d.handle.ReadAt(t.buf, t.off)
+	}
+	if t.done != nil {
+		t.done <- err
+		return
+	}
+	// Staged: record the outcome in the descriptor database; the error (if
+	// any) surfaces on a later operation on this descriptor.
+	t.d.complete(t.opNum, err)
+}

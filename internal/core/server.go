@@ -1,0 +1,435 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Mode selects the server's execution model (see the package comment).
+type Mode int
+
+// Execution modes.
+const (
+	// ModeDirect executes operations on the per-connection handler.
+	ModeDirect Mode = iota
+	// ModeWorkQueue schedules operations on the worker pool; callers block.
+	ModeWorkQueue
+	// ModeAsync adds asynchronous data staging for writes.
+	ModeAsync
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeDirect:
+		return "direct"
+	case ModeWorkQueue:
+		return "workqueue"
+	case ModeAsync:
+		return "async"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config configures a Server.
+type Config struct {
+	// Mode selects the execution model; the default is ModeDirect.
+	Mode Mode
+	// Workers is the worker-pool size for ModeWorkQueue and ModeAsync
+	// (paper default: 4).
+	Workers int
+	// Batch is the maximum number of tasks a worker dequeues per wakeup.
+	Batch int
+	// BMLBytes caps staging memory; writes block when it is exhausted.
+	BMLBytes int64
+	// Backend executes the terminal I/O; the default is NewMemBackend().
+	Backend Backend
+	// Filters, when non-nil, processes every write payload on the
+	// forwarding node before it reaches the backend (the paper's data
+	// filtering / in-situ analytics offload). Filters must not grow the
+	// payload.
+	Filters *FilterChain
+}
+
+// ServerStats are cumulative server counters.
+type ServerStats struct {
+	Ops          uint64
+	BytesWritten uint64
+	BytesRead    uint64
+	StagedWrites uint64
+	WorkerBatch  uint64
+	Conns        uint64
+}
+
+// Server is a forwarding server.
+type Server struct {
+	cfg   Config
+	bml   *BML
+	queue *taskQueue
+
+	ops          atomic.Uint64
+	bytesWritten atomic.Uint64
+	bytesRead    atomic.Uint64
+	staged       atomic.Uint64
+	batches      atomic.Uint64
+	conns        atomic.Uint64
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	closed    bool
+	workerWG  sync.WaitGroup
+}
+
+// NewServer builds a server and starts its worker pool if the mode needs
+// one.
+func NewServer(cfg Config) *Server {
+	if cfg.Backend == nil {
+		cfg.Backend = NewMemBackend()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 8
+	}
+	if cfg.BMLBytes <= 0 {
+		cfg.BMLBytes = 256 << 20
+	}
+	s := &Server{cfg: cfg, bml: NewBML(cfg.BMLBytes)}
+	if cfg.Mode != ModeDirect {
+		s.queue = newTaskQueue()
+		for i := 0; i < cfg.Workers; i++ {
+			s.workerWG.Add(1)
+			go s.worker()
+		}
+	}
+	return s
+}
+
+// Mode returns the server's execution model.
+func (s *Server) Mode() Mode { return s.cfg.Mode }
+
+// BMLStats exposes the staging pool counters.
+func (s *Server) BMLStats() BMLStats { return s.bml.Stats() }
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Ops:          s.ops.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		StagedWrites: s.staged.Load(),
+		WorkerBatch:  s.batches.Load(),
+		Conns:        s.conns.Load(),
+	}
+}
+
+// Serve accepts connections until the listener fails or the server closes.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ECLOSED
+	}
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go func() { _ = s.ServeConn(c) }()
+	}
+}
+
+// Close stops accepting, drains the worker pool, and releases resources.
+// In-flight connections are interrupted by their next I/O.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ls := s.listeners
+	s.mu.Unlock()
+	for _, l := range ls {
+		_ = l.Close()
+	}
+	if s.queue != nil {
+		s.queue.close()
+		s.workerWG.Wait()
+	}
+	return nil
+}
+
+// ServeConn handles one client connection until EOF or error. It is
+// exported so tests and in-process users can serve a net.Pipe end directly.
+func (s *Server) ServeConn(nc net.Conn) error {
+	s.conns.Add(1)
+	c := &serverConn{srv: s, nc: nc, db: newDescDB()}
+	err := c.run()
+	c.teardown()
+	_ = nc.Close()
+	if err == io.EOF || errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+// serverConn is the per-connection handler — the role of the per-CN ZOID
+// thread. It decodes requests sequentially; whether it executes them itself
+// or hands them to the worker pool depends on the server mode.
+type serverConn struct {
+	srv *Server
+	nc  net.Conn
+	db  *descDB
+}
+
+func (c *serverConn) run() error {
+	var h header
+	for {
+		if err := readHeader(c.nc, &h); err != nil {
+			return err
+		}
+		if err := c.dispatch(&h); err != nil {
+			return err
+		}
+	}
+}
+
+// teardown drains and closes every descriptor left open by the client.
+func (c *serverConn) teardown() {
+	for _, d := range c.db.all() {
+		d.drain()
+		_ = d.handle.Close()
+		c.db.remove(d.fd)
+	}
+}
+
+// reply sends a response frame. value carries op-specific results (fd,
+// size, byte count); payload carries read data.
+func (c *serverConn) reply(reqID uint64, flags uint16, errno Errno, value int64, payload []byte) error {
+	h := header{
+		op:      0, // responses reuse the header with op 0
+		flags:   flags,
+		reqID:   reqID,
+		offset:  uint64(value),
+		length:  uint32(len(payload)),
+		pathLen: uint16(errno),
+	}
+	return writeFrame(c.nc, &h, payload)
+}
+
+// deferredFlags folds a descriptor's pending deferred error into a reply.
+func deferredFlags(d *descriptor) (uint16, Errno) {
+	if err := d.takeError(); err != nil {
+		return FlagDeferredErr, toErrno(errors.Unwrap(err))
+	}
+	return 0, EOK
+}
+
+func (c *serverConn) dispatch(h *header) error {
+	s := c.srv
+	s.ops.Add(1)
+	switch h.op {
+	case OpOpen:
+		if h.pathLen == 0 || h.pathLen > MaxPath {
+			return c.reply(h.reqID, 0, EINVAL, 0, nil)
+		}
+		path := make([]byte, h.pathLen)
+		if _, err := io.ReadFull(c.nc, path); err != nil {
+			return err
+		}
+		handle, err := s.cfg.Backend.Open(string(path), true)
+		if err != nil {
+			return c.reply(h.reqID, 0, toErrno(err), 0, nil)
+		}
+		d := c.db.open(string(path), handle)
+		return c.reply(h.reqID, 0, EOK, int64(d.fd), nil)
+
+	case OpClose:
+		d, ok := c.db.lookup(h.fd)
+		if !ok {
+			return c.reply(h.reqID, 0, EBADF, 0, nil)
+		}
+		d.drain()
+		flags, errno := deferredFlags(d)
+		if err := d.handle.Close(); err != nil && errno == EOK {
+			errno = toErrno(err)
+		}
+		c.db.remove(h.fd)
+		return c.reply(h.reqID, flags, errno, 0, nil)
+
+	case OpWrite, OpPwrite:
+		return c.handleWrite(h)
+
+	case OpRead, OpPread:
+		return c.handleRead(h)
+
+	case OpFsync:
+		d, ok := c.db.lookup(h.fd)
+		if !ok {
+			return c.reply(h.reqID, 0, EBADF, 0, nil)
+		}
+		d.drain()
+		flags, errno := deferredFlags(d)
+		if err := d.handle.Sync(); err != nil && errno == EOK {
+			errno = toErrno(err)
+		}
+		return c.reply(h.reqID, flags, errno, 0, nil)
+
+	case OpStat:
+		d, ok := c.db.lookup(h.fd)
+		if !ok {
+			return c.reply(h.reqID, 0, EBADF, 0, nil)
+		}
+		size, err := d.handle.Size()
+		return c.reply(h.reqID, 0, toErrno(err), size, nil)
+
+	case OpFlush:
+		for _, d := range c.db.all() {
+			d.drain()
+		}
+		return c.reply(h.reqID, 0, EOK, 0, nil)
+
+	case OpErrPoll:
+		d, ok := c.db.lookup(h.fd)
+		if !ok {
+			return c.reply(h.reqID, 0, EBADF, 0, nil)
+		}
+		flags, errno := deferredFlags(d)
+		return c.reply(h.reqID, flags, errno, 0, nil)
+	}
+	return c.reply(h.reqID, 0, EINVAL, 0, nil)
+}
+
+// handleWrite receives the payload into a BML buffer and executes, queues,
+// or stages it per the server mode.
+func (c *serverConn) handleWrite(h *header) error {
+	s := c.srv
+	if h.length > MaxPayload {
+		return fmt.Errorf("core: oversized write %d", h.length)
+	}
+	d, ok := c.db.lookup(h.fd)
+	if !ok {
+		// Drain the payload to keep the stream in sync.
+		if _, err := io.CopyN(io.Discard, c.nc, int64(h.length)); err != nil {
+			return err
+		}
+		return c.reply(h.reqID, 0, EBADF, 0, nil)
+	}
+	// Receive into a staging buffer. Allocation blocks under the BML cap,
+	// which back-pressures the client exactly as the paper describes.
+	buf := s.bml.Get(int(h.length))
+	if _, err := io.ReadFull(c.nc, buf); err != nil {
+		s.bml.Put(buf)
+		return err
+	}
+	// Forwarding-node data filtering happens before offsets are reserved,
+	// so reduced output still lands contiguously under cursor writes.
+	if s.cfg.Filters != nil {
+		filtered, ferr := s.cfg.Filters.Apply(d.name, int64(h.offset), buf)
+		if ferr != nil {
+			s.bml.Put(buf)
+			return c.reply(h.reqID, 0, toErrno(ferr), 0, nil)
+		}
+		if len(filtered) > len(buf) {
+			s.bml.Put(buf)
+			return c.reply(h.reqID, 0, EINVAL, 0, nil)
+		}
+		if len(filtered) == 0 {
+			buf = buf[:0]
+		} else if &filtered[0] != &buf[0] || len(filtered) != len(buf) {
+			n := copy(buf, filtered)
+			buf = buf[:n]
+		}
+	}
+	var off int64
+	var opNum uint64
+	if h.op == OpPwrite {
+		off = int64(h.offset)
+		opNum = d.at()
+	} else {
+		off, opNum = d.nextOffset(int64(len(buf)))
+	}
+	n := int64(h.length)
+	s.bytesWritten.Add(uint64(n))
+
+	switch s.cfg.Mode {
+	case ModeDirect:
+		_, err := d.handle.WriteAt(buf, off)
+		s.bml.Put(buf)
+		return c.reply(h.reqID, 0, toErrno(err), n, nil)
+
+	case ModeWorkQueue:
+		done := make(chan error, 1)
+		s.queue.put(&task{d: d, op: OpWrite, buf: buf, off: off, done: done})
+		err := <-done
+		return c.reply(h.reqID, 0, toErrno(err), n, nil)
+
+	case ModeAsync:
+		flags, errno := deferredFlags(d)
+		d.start()
+		s.staged.Add(1)
+		s.queue.put(&task{d: d, op: OpWrite, buf: buf, off: off, opNum: opNum})
+		return c.reply(h.reqID, flags|FlagStaged, errno, n, nil)
+	}
+	s.bml.Put(buf)
+	return c.reply(h.reqID, 0, EINVAL, 0, nil)
+}
+
+// handleRead executes or queues a read; reads block for the data in every
+// mode, and under staging they first drain preceding writes on the
+// descriptor so the client observes its own writes.
+func (c *serverConn) handleRead(h *header) error {
+	s := c.srv
+	if h.length > MaxPayload {
+		return fmt.Errorf("core: oversized read %d", h.length)
+	}
+	d, ok := c.db.lookup(h.fd)
+	if !ok {
+		return c.reply(h.reqID, 0, EBADF, 0, nil)
+	}
+	var off int64
+	if h.op == OpPread {
+		off = int64(h.offset)
+		d.at()
+	} else {
+		off, _ = d.nextOffset(int64(h.length))
+	}
+	var flags uint16
+	var derrno Errno
+	if s.cfg.Mode == ModeAsync {
+		d.drain()
+		flags, derrno = deferredFlags(d)
+	}
+	buf := s.bml.Get(int(h.length))
+	defer s.bml.Put(buf)
+	var n int
+	var err error
+	if s.cfg.Mode == ModeDirect {
+		n, err = d.handle.ReadAt(buf, off)
+	} else {
+		done := make(chan error, 1)
+		t := &task{d: d, op: OpRead, buf: buf, off: off, done: done}
+		s.queue.put(t)
+		err = <-done
+		n = t.n
+	}
+	s.bytesRead.Add(uint64(n))
+	errno := toErrno(err)
+	if derrno != EOK && errno == EOK {
+		errno = derrno
+	}
+	return c.reply(h.reqID, flags, errno, int64(n), buf[:n])
+}

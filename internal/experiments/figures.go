@@ -1,0 +1,326 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/stats"
+)
+
+const mib = bgp.MiB
+
+// iters picks an iteration count: enough to amortize startup and drain
+// tails, smaller under quick mode.
+func iters(quick bool, full int) int {
+	if quick {
+		return full / 4
+	}
+	return full
+}
+
+// Figure4 reproduces "Performance of collective network streaming from
+// compute nodes to I/O node": CNs write 1 MiB messages to /dev/null on the
+// ION through CIOD and ZOID, sweeping the number of CNs in the pset.
+// Paper: sustains up to ~680 MiB/s (93% of the ~731 MiB/s packetized peak),
+// peaks between 4 and 8 nodes, declines beyond 32 as ION contention grows;
+// ZOID is ~2% ahead of CIOD.
+func Figure4(quick bool) *stats.Table {
+	nodes := []int{1, 2, 4, 8, 16, 32, 64}
+	t := &stats.Table{
+		Title:  "Figure 4: collective network streaming CN->ION (1 MiB writes to /dev/null)",
+		XLabel: "CNs",
+		YLabel: "MiB/s",
+	}
+	for _, n := range nodes {
+		t.X = append(t.X, fmt.Sprint(n))
+	}
+	it := iters(quick, 120)
+	for _, mech := range []Mechanism{CIOD, ZOID} {
+		var writes, reads []float64
+		for _, n := range nodes {
+			r := RunE2E(E2EConfig{Mech: mech, Psets: 1, CNsPerPset: n, MsgBytes: mib, Iters: it})
+			writes = append(writes, r.ThroughputMiBps)
+			rd := RunE2E(E2EConfig{Mech: mech, Psets: 1, CNsPerPset: n, MsgBytes: mib, Iters: it, Reads: true})
+			reads = append(reads, rd.ThroughputMiBps)
+		}
+		t.Add(string(mech)+"/write", writes)
+		t.Add(string(mech)+"/read", reads)
+	}
+	p := bgp.Default()
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("packetized collective peak: %.0f MiB/s (paper: ~731)", p.CollPeakPayload()/mib),
+		"paper: peak ~680 MiB/s at 4-8 CNs, decline beyond 32, ZOID ~2% over CIOD")
+	return t
+}
+
+// Figure4MessageSizes sweeps the message size at a fixed CN count — the
+// second axis of the paper's figure 4 ("varying the buffer sizes as well as
+// the number of CNs").
+func Figure4MessageSizes(quick bool, cns int) *stats.Table {
+	sizes := []int64{4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024, mib, 4 * mib}
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Figure 4 (size axis): collective streaming, %d CNs", cns),
+		XLabel: "msg",
+		YLabel: "MiB/s",
+	}
+	for _, s := range sizes {
+		t.X = append(t.X, sizeLabel(s))
+	}
+	it := iters(quick, 120)
+	for _, mech := range []Mechanism{CIOD, ZOID} {
+		var y []float64
+		for _, s := range sizes {
+			r := RunE2E(E2EConfig{Mech: mech, Psets: 1, CNsPerPset: cns, MsgBytes: s, Iters: it})
+			y = append(y, r.ThroughputMiBps)
+		}
+		t.Add(string(mech), y)
+	}
+	return t
+}
+
+// Figure5 reproduces "Performance of data streaming from an I/O node to an
+// analysis node": nuttcp-style memory-to-memory streaming over the external
+// 10 GbE, sweeping sender threads on the ION. Paper: 1 thread 307 MiB/s,
+// 4 threads 791 MiB/s (the maximum), 8 threads lower; DA-to-DA sustains
+// 1110 MiB/s with one thread.
+func Figure5(quick bool) *stats.Table {
+	threads := []int{1, 2, 4, 8}
+	t := &stats.Table{
+		Title:  "Figure 5: external network streaming ION->DA (nuttcp, 1 MiB)",
+		XLabel: "threads",
+		YLabel: "MiB/s",
+	}
+	it := iters(quick, 400)
+	var y []float64
+	for _, k := range threads {
+		t.X = append(t.X, fmt.Sprint(k))
+		y = append(y, RunNuttcpIONToDA(k, mib, it).ThroughputMiBps)
+	}
+	t.Add("ION->DA", y)
+	t.Add("paper", []float64{307, 560, 791, 760})
+	da := RunNuttcpDAToDA(1, mib, it).ThroughputMiBps
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("DA->DA single stream: %.0f MiB/s (paper: 1110)", da),
+		"paper series at 2 and 8 threads read from the figure (approximate)")
+	return t
+}
+
+// Figure6 reproduces "Performance of I/O forwarding between an I/O node and
+// analysis node": end-to-end CN->DA streaming under CIOD and ZOID, with the
+// max-achievable line (min of the two stage maxima, ~650 MiB/s). Paper:
+// both sustain at most ~420 MiB/s, 66% of the achievable throughput, and
+// decline as CNs increase.
+func Figure6(quick bool) *stats.Table {
+	nodes := []int{1, 2, 4, 8, 16, 32, 64}
+	t := &stats.Table{
+		Title:  "Figure 6: end-to-end I/O forwarding CN->DA (1 MiB), baselines",
+		XLabel: "CNs",
+		YLabel: "MiB/s",
+	}
+	for _, n := range nodes {
+		t.X = append(t.X, fmt.Sprint(n))
+	}
+	it := iters(quick, 120)
+	for _, mech := range []Mechanism{CIOD, ZOID} {
+		var y []float64
+		for _, n := range nodes {
+			r := RunE2E(E2EConfig{Mech: mech, Psets: 1, CNsPerPset: n, DANodes: 1, MsgBytes: mib, Iters: it})
+			y = append(y, r.ThroughputMiBps)
+		}
+		t.Add(string(mech), y)
+	}
+	max := maxAchievable(quick)
+	line := make([]float64, len(nodes))
+	for i := range line {
+		line[i] = max
+	}
+	t.Add("max-achievable", line)
+	t.Notes = append(t.Notes, "paper: CIOD/ZOID max ~420 MiB/s = 66% of ~650 MiB/s achievable")
+	return t
+}
+
+// maxAchievable computes the figure 6/9 reference line the way the paper
+// does: the minimum of the maximum sustained collective-network throughput
+// (fig 4) and external-network throughput (fig 5).
+func maxAchievable(quick bool) float64 {
+	it := iters(quick, 120)
+	coll := 0.0
+	for _, n := range []int{4, 8} {
+		r := RunE2E(E2EConfig{Mech: ZOID, Psets: 1, CNsPerPset: n, MsgBytes: mib, Iters: it})
+		if r.ThroughputMiBps > coll {
+			coll = r.ThroughputMiBps
+		}
+	}
+	ext := RunNuttcpIONToDA(4, mib, iters(quick, 400)).ThroughputMiBps
+	if coll < ext {
+		return coll
+	}
+	return ext
+}
+
+// Figure9 reproduces "Performance comparison of I/O forwarding mechanism as
+// we increase the number of CNs sending 1 MiB messages over the I/O network
+// to a DA node": all four mechanisms, 4 worker threads. Paper at 32 CNs:
+// work-queue scheduling is +38% over CIOD (+23% over ZOID, 83% efficiency);
+// scheduling+staging is +57% over CIOD (+40% over ZOID, ~95% efficiency,
+// +14% over scheduling alone).
+func Figure9(quick bool) *stats.Table {
+	nodes := []int{1, 2, 4, 8, 16, 32, 64}
+	t := &stats.Table{
+		Title:  "Figure 9: I/O forwarding mechanisms vs number of CNs (1 MiB, 4 workers)",
+		XLabel: "CNs",
+		YLabel: "MiB/s",
+	}
+	for _, n := range nodes {
+		t.X = append(t.X, fmt.Sprint(n))
+	}
+	it := iters(quick, 120)
+	for _, mech := range AllMechanisms {
+		var y []float64
+		for _, n := range nodes {
+			r := RunE2E(E2EConfig{Mech: mech, Psets: 1, CNsPerPset: n, DANodes: 1, MsgBytes: mib, Iters: it, Workers: 4})
+			y = append(y, r.ThroughputMiBps)
+		}
+		t.Add(string(mech), y)
+	}
+	addImprovementNotes(t, 5 /* index of 32 CNs */, "at 32 CNs")
+	t.Notes = append(t.Notes, "paper at 32 CNs: wq +38% over ciod, +23% over zoid; async +57% over ciod, +40% over zoid, ~95% efficiency")
+	return t
+}
+
+// Figure10 reproduces "Performance comparison of I/O forwarding mechanism
+// for 64 CNs over the I/O network to a DA node with varying message size".
+// Paper at 256 KiB: CIOD 64%, ZOID 74%, scheduling 86%, staging 95%
+// efficiency; small messages are gated by the two-step control exchange.
+func Figure10(quick bool) *stats.Table {
+	sizes := []int64{64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024, mib, 2 * mib, 4 * mib}
+	t := &stats.Table{
+		Title:  "Figure 10: I/O forwarding mechanisms vs message size (64 CNs, 4 workers)",
+		XLabel: "msg",
+		YLabel: "MiB/s",
+	}
+	for _, s := range sizes {
+		t.X = append(t.X, sizeLabel(s))
+	}
+	it := iters(quick, 120)
+	for _, mech := range AllMechanisms {
+		var y []float64
+		for _, s := range sizes {
+			r := RunE2E(E2EConfig{Mech: mech, Psets: 1, CNsPerPset: 64, DANodes: 1, MsgBytes: s, Iters: it, Workers: 4})
+			y = append(y, r.ThroughputMiBps)
+		}
+		t.Add(string(mech), y)
+	}
+	t.Notes = append(t.Notes, "paper at 256 KiB: efficiency ciod 64%, zoid 74%, wq 86%, async 95%")
+	return t
+}
+
+// Figure11 reproduces "Impact of the number of threads on I/O forwarding":
+// the full mechanism (scheduling + staging) with 1-8 workers, 1 MiB
+// messages. Paper: 1 thread cannot exceed ~300 MiB/s, throughput peaks at 4
+// workers (matching the 4 ION cores), and declines at 8.
+func Figure11(quick bool) *stats.Table {
+	workers := []int{1, 2, 4, 8}
+	t := &stats.Table{
+		Title:  "Figure 11: worker-pool size sweep (zoid+wq+async, 64 CNs, 1 MiB)",
+		XLabel: "workers",
+		YLabel: "MiB/s",
+	}
+	it := iters(quick, 120)
+	var y []float64
+	for _, w := range workers {
+		t.X = append(t.X, fmt.Sprint(w))
+		r := RunE2E(E2EConfig{Mech: Async, Psets: 1, CNsPerPset: 64, DANodes: 1, MsgBytes: mib, Iters: it, Workers: w})
+		y = append(y, r.ThroughputMiBps)
+	}
+	t.Add(string(Async), y)
+	t.Notes = append(t.Notes, "paper: ~300 MiB/s at 1 worker, peak at 4, decline at 8")
+	return t
+}
+
+// Figure12 reproduces "Weak scaling performance of the I/O forwarding
+// mechanisms": 256, 512, and 1024 CNs (4, 8, and 16 psets/IONs) streaming
+// 1 MiB messages to 20 DA sink nodes, connections distributed MxN. Paper:
+// staging+scheduling is +53/43/47% over CIOD and +33/25/34% over ZOID.
+func Figure12(quick bool) *stats.Table {
+	scales := []int{256, 512, 1024}
+	t := &stats.Table{
+		Title:  "Figure 12: weak scaling to 20 DA sinks (1 MiB, 4 workers per ION)",
+		XLabel: "CNs",
+		YLabel: "MiB/s",
+	}
+	for _, n := range scales {
+		t.X = append(t.X, fmt.Sprint(n))
+	}
+	it := iters(quick, 60)
+	for _, mech := range AllMechanisms {
+		var y []float64
+		for _, n := range scales {
+			r := RunE2E(E2EConfig{
+				Mech: mech, Psets: n / 64, CNsPerPset: 64, DANodes: 20,
+				MsgBytes: mib, Iters: it, Workers: 4,
+			})
+			y = append(y, r.ThroughputMiBps)
+		}
+		t.Add(string(mech), y)
+	}
+	for i, n := range scales {
+		addImprovementNotes(t, i, fmt.Sprintf("at %d CNs", n))
+	}
+	t.Notes = append(t.Notes, "paper: async over ciod +53/43/47%; over zoid +33/25/34% at 256/512/1024 CNs")
+	return t
+}
+
+// Utilization reports the resource-utilization view of the figure-9
+// operating point (32 CNs, 1 MiB, 4 workers): the busy fractions of the
+// tree uplink, ION CPU, and ION NIC per mechanism. This is the paper's
+// Section III bottleneck analysis made directly visible: the synchronous
+// mechanisms leave the binding stage (the tree) idle while phases couple,
+// and the staged mechanism saturates it.
+func Utilization(quick bool) *stats.Table {
+	t := &stats.Table{
+		Title:  "Resource utilization at 32 CNs, 1 MiB, 4 workers (busy fraction x100)",
+		XLabel: "mechanism",
+		YLabel: "percent busy",
+	}
+	it := iters(quick, 120)
+	var tree, cpu, nic []float64
+	for _, mech := range AllMechanisms {
+		t.X = append(t.X, string(mech))
+		r := RunE2E(E2EConfig{Mech: mech, Psets: 1, CNsPerPset: 32, DANodes: 1, MsgBytes: mib, Iters: it, Workers: 4})
+		tree = append(tree, 100*r.TreeUtil)
+		cpu = append(cpu, 100*r.IONCPUUtil)
+		nic = append(nic, 100*r.IONNICUtil)
+	}
+	t.Add("tree", tree)
+	t.Add("ion-cpu", cpu)
+	t.Add("ion-nic", nic)
+	t.Notes = append(t.Notes, "the tree uplink is the binding stage; its idle fraction under the synchronous mechanisms is the efficiency loss of figs 6 and 9")
+	return t
+}
+
+// addImprovementNotes appends measured improvement percentages of the
+// wq/async series over the baselines at column i.
+func addImprovementNotes(t *stats.Table, i int, where string) {
+	c, z := t.Get(string(CIOD)), t.Get(string(ZOID))
+	w, a := t.Get(string(WQ)), t.Get(string(Async))
+	if c == nil || z == nil || w == nil || a == nil {
+		return
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"measured %s: wq %+.0f%% over ciod, %+.0f%% over zoid; async %+.0f%% over ciod, %+.0f%% over zoid",
+		where,
+		stats.Improvement(w.Y[i], c.Y[i]), stats.Improvement(w.Y[i], z.Y[i]),
+		stats.Improvement(a.Y[i], c.Y[i]), stats.Improvement(a.Y[i], z.Y[i])))
+}
+
+func sizeLabel(n int64) string {
+	switch {
+	case n >= mib:
+		return fmt.Sprintf("%dMiB", n/mib)
+	case n >= 1024:
+		return fmt.Sprintf("%dKiB", n/1024)
+	default:
+		return fmt.Sprint(n)
+	}
+}

@@ -1,0 +1,106 @@
+package iofwd
+
+import (
+	"repro/internal/bgp"
+	"repro/internal/sim"
+)
+
+// Base carries the plumbing every forwarding mechanism shares: the pset it
+// serves, the parameter table, the descriptor database, and the modelling of
+// the two-step forwarding protocol over the collective network.
+type Base struct {
+	Eng  *sim.Engine
+	Pset *bgp.Pset
+	P    bgp.Params
+	DB   *DescriptorDB
+
+	stats Stats
+}
+
+// NewBase wires a Base for the given pset.
+func NewBase(e *sim.Engine, ps *bgp.Pset, p bgp.Params) Base {
+	return Base{Eng: e, Pset: ps, P: p, DB: NewDescriptorDB(e)}
+}
+
+// Stats returns a copy of the forwarder counters.
+func (b *Base) Stats() Stats { return b.stats }
+
+// CountWrite accumulates per-op statistics.
+func (b *Base) CountWrite(n int64) {
+	b.stats.Ops++
+	b.stats.BytesWritten += n
+}
+
+// CountRead accumulates per-op statistics.
+func (b *Base) CountRead(n int64) {
+	b.stats.Ops++
+	b.stats.BytesRead += n
+}
+
+// UplinkControl models the first step of the two-step forwarding protocol:
+// the CN marshals and sends the function parameters over the tree, and the
+// ION-side handler (thread, proxy process, or worker) is dispatched at a
+// fixed CPU cost ctrlCPU. Paper V-A2: "CIOD and ZOID use a two-step approach
+// wherein the function parameters are first sent from the CN to the ION and
+// the data is then transferred" — this step gates small-message rates.
+func (b *Base) UplinkControl(p *sim.Proc, ctrlCPU float64) {
+	p.Sleep(b.P.CNOverhead)
+	b.Pset.Tree.Transfer(p, b.P.CtrlBytes)
+	b.Pset.ION.CPU.Compute(p, ctrlCPU)
+}
+
+// UplinkData moves n payload bytes CN -> ION: the tree clocks the packets,
+// the ION tree-device engine moves them into memory, and the forwarding
+// thread copies them into its buffer as they arrive — all overlapped, since
+// reception is streamed packet by packet. `copies` is the number of memory
+// copies (ZOID: one, into the ZOID-managed buffer; CIOD: one, into the
+// shared-memory region the I/O proxy consumes directly, paper II-B1).
+func (b *Base) UplinkData(p *sim.Proc, n int64, copies int) {
+	if n <= 0 {
+		return
+	}
+	eng := b.Eng
+	sim.Fork(p,
+		func(done func()) { b.Pset.Tree.TransferAsync(eng, n, done) },
+		func(done func()) { b.Pset.ION.TreeDev.ServeAsync(float64(n), done) },
+		func(done func()) {
+			b.Pset.ION.CPU.ComputeAsync(float64(n)*float64(copies)*b.P.IONCopyCost, done)
+		},
+	)
+}
+
+// DownlinkData moves n payload bytes ION -> CN for reads: the copy out of
+// the I/O buffer overlaps the tree-device injection and the wire transfer.
+func (b *Base) DownlinkData(p *sim.Proc, n int64, copies int) {
+	if n <= 0 {
+		return
+	}
+	eng := b.Eng
+	sim.Fork(p,
+		func(done func()) { b.Pset.Tree.TransferAsync(eng, n, done) },
+		func(done func()) { b.Pset.ION.TreeDev.ServeAsync(float64(n), done) },
+		func(done func()) {
+			b.Pset.ION.CPU.ComputeAsync(float64(n)*float64(copies)*b.P.IONCopyCost, done)
+		},
+	)
+}
+
+// Reply models the completion message ION -> CN that unblocks the
+// application (or, under staging, acknowledges the copy).
+func (b *Base) Reply(p *sim.Proc) {
+	b.Pset.Tree.Transfer(p, b.P.ReplyBytes)
+}
+
+// OpenSink charges the sink's open cost if it declares one.
+func (b *Base) OpenSink(p *sim.Proc, s Sink) {
+	if so, ok := s.(SinkOpener); ok {
+		so.OpenCost(p)
+	}
+}
+
+// CloseSink charges the sink's close cost if it declares one.
+func (b *Base) CloseSink(p *sim.Proc, s Sink) {
+	if so, ok := s.(SinkOpener); ok {
+		so.CloseCost(p)
+	}
+}

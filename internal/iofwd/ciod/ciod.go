@@ -1,0 +1,105 @@
+// Package ciod models IBM's Control and I/O Daemon, the stock BG/P
+// forwarding infrastructure (paper II-B1): a user-level daemon on the ION
+// receives requests from the collective network, copies them into a
+// shared-memory region, and hands them to a dedicated per-CN I/O proxy
+// *process* that executes the call and returns the result. The extra
+// shared-memory copy and the process (rather than thread) context switches
+// are what ZOID improves on by about 2% (paper III-A), and what the work
+// queue and staging mechanisms improve on much further.
+package ciod
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/iofwd"
+	"repro/internal/sim"
+)
+
+// Forwarder is the CIOD mechanism: fully synchronous, one I/O proxy process
+// per compute node, two data copies on the ION.
+type Forwarder struct {
+	iofwd.Base
+}
+
+// sharedMemoryCopies is the number of ION-side data copies CIOD performs
+// (paper II-B1, figure 2a): the daemon receives the payload off the
+// collective network into its own buffer and copies it into the
+// shared-memory region from which the per-CN I/O proxy process executes the
+// call — one memory traversal more than ZOID's single copy into a
+// ZOID-managed buffer. On top of that, the daemon-to-proxy handoff costs
+// process context switches (IONCtrlCPUProc vs ZOID's cheaper thread
+// dispatch).
+const sharedMemoryCopies = 2
+
+// New returns a CIOD forwarder for the pset.
+func New(e *sim.Engine, ps *bgp.Pset, p bgp.Params) *Forwarder {
+	return &Forwarder{Base: iofwd.NewBase(e, ps, p)}
+}
+
+// Name implements iofwd.Forwarder.
+func (f *Forwarder) Name() string { return "ciod" }
+
+// Open implements iofwd.Forwarder.
+func (f *Forwarder) Open(p *sim.Proc, cn int, sink iofwd.Sink) (int, error) {
+	f.UplinkControl(p, f.P.IONCtrlCPUProc)
+	d := f.DB.Open(sink)
+	f.OpenSink(p, sink)
+	f.Reply(p)
+	return d.FD, nil
+}
+
+// Write forwards a write; the application blocks until the proxy process
+// has executed the I/O ("the application on the CN is blocked until the I/O
+// operation is completed by the I/O forwarding mechanism", paper IV).
+func (f *Forwarder) Write(p *sim.Proc, cn int, fd int, n int64) error {
+	d, err := f.DB.Lookup(fd)
+	if err != nil {
+		return err
+	}
+	f.UplinkControl(p, f.P.IONCtrlCPUProc)
+	f.UplinkData(p, n, sharedMemoryCopies)
+	werr := d.Sink.Write(p, n)
+	f.Reply(p)
+	f.CountWrite(n)
+	if werr != nil {
+		return fmt.Errorf("ciod: write fd %d: %w", fd, werr)
+	}
+	return nil
+}
+
+// Read forwards a read; the data travels back down the tree before the
+// application unblocks.
+func (f *Forwarder) Read(p *sim.Proc, cn int, fd int, n int64) error {
+	d, err := f.DB.Lookup(fd)
+	if err != nil {
+		return err
+	}
+	f.UplinkControl(p, f.P.IONCtrlCPUProc)
+	rerr := d.Sink.Read(p, n)
+	f.DownlinkData(p, n, sharedMemoryCopies)
+	f.CountRead(n)
+	if rerr != nil {
+		return fmt.Errorf("ciod: read fd %d: %w", fd, rerr)
+	}
+	return nil
+}
+
+// Close implements iofwd.Forwarder.
+func (f *Forwarder) Close(p *sim.Proc, cn int, fd int) error {
+	d, err := f.DB.Lookup(fd)
+	if err != nil {
+		return err
+	}
+	f.UplinkControl(p, f.P.IONCtrlCPUProc)
+	f.CloseSink(p, d.Sink)
+	err = f.DB.Close(p, d)
+	f.Reply(p)
+	return err
+}
+
+// Drain is a no-op: CIOD has no asynchronous work.
+func (f *Forwarder) Drain(p *sim.Proc) {}
+
+// Shutdown is a no-op: CIOD has no worker processes.
+func (f *Forwarder) Shutdown() {}

@@ -1,0 +1,65 @@
+package ciod
+
+import (
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/iofwd"
+	"repro/internal/sim"
+	"repro/internal/iofwd/zoid"
+)
+
+// TestCIODSlowerThanZOID checks the ~2% ordering of paper figure 4: for the
+// same workload, the process-based CIOD must be slightly slower than the
+// thread-based ZOID, never faster.
+func TestCIODSlowerThanZOID(t *testing.T) {
+	run := func(mk func(e *sim.Engine, ps *bgp.Pset, p bgp.Params) iofwd.Forwarder) sim.Time {
+		e := sim.New(1)
+		p := bgp.Default()
+		m := bgp.NewMachine(e, bgp.Config{Psets: 1, CNsPerPset: 1, Params: &p})
+		f := mk(e, m.Psets[0], p)
+		sink := &iofwd.NullSink{ION: m.Psets[0].ION, P: p}
+		e.Spawn("cn", func(proc *sim.Proc) {
+			fd, _ := f.Open(proc, 0, sink)
+			for i := 0; i < 50; i++ {
+				if err := f.Write(proc, 0, fd, 1<<20); err != nil {
+					t.Errorf("write: %v", err)
+				}
+			}
+			_ = f.Close(proc, 0, fd)
+		})
+		return e.Run(0)
+	}
+	ciodTime := run(func(e *sim.Engine, ps *bgp.Pset, p bgp.Params) iofwd.Forwarder { return New(e, ps, p) })
+	zoidTime := run(func(e *sim.Engine, ps *bgp.Pset, p bgp.Params) iofwd.Forwarder { return zoid.New(e, ps, p) })
+	if ciodTime <= zoidTime {
+		t.Fatalf("CIOD (%v) not slower than ZOID (%v)", ciodTime, zoidTime)
+	}
+	ratio := float64(ciodTime) / float64(zoidTime)
+	if ratio > 1.10 {
+		t.Fatalf("CIOD %.1f%% slower than ZOID; paper reports ~2%%", (ratio-1)*100)
+	}
+}
+
+func TestReadPath(t *testing.T) {
+	e := sim.New(1)
+	p := bgp.Default()
+	m := bgp.NewMachine(e, bgp.Config{Psets: 1, CNsPerPset: 1, Params: &p})
+	f := New(e, m.Psets[0], p)
+	sink := &iofwd.NullSink{ION: m.Psets[0].ION, P: p}
+	e.Spawn("cn", func(proc *sim.Proc) {
+		fd, _ := f.Open(proc, 0, sink)
+		if err := f.Read(proc, 0, fd, 1<<20); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		_ = f.Close(proc, 0, fd)
+	})
+	end := e.Run(0)
+	minWire := sim.Seconds(float64(1<<20) / p.CollPeakPayload())
+	if end < minWire {
+		t.Fatalf("read finished at %v, faster than the tree wire %v", end, minWire)
+	}
+	if st := f.Stats(); st.BytesRead != 1<<20 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -1,0 +1,161 @@
+package iofwd
+
+import (
+	"repro/internal/bgp"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// FileSink is the ION-side parallel-filesystem client for one (process,
+// file) stream: sequential writes and reads against a striped storage.File,
+// with the same buffered-client dynamics as the socket path — a write
+// returns once the client buffer accepts the payload and a bounded amount of
+// data may be in flight to the servers, while reads block for the data.
+type FileSink struct {
+	ION *bgp.ION
+	P   bgp.Params
+	F   *storage.File
+
+	wcursor int64 // next sequential write offset
+	rcursor int64 // next sequential read offset
+
+	window  *sim.Resource
+	drainq  *sim.Queue[[2]int64] // {offset, bytes}
+	drainer *sim.Proc
+	closed  bool
+}
+
+// NewFileSink opens a client stream over f.
+func NewFileSink(e *sim.Engine, ion *bgp.ION, p bgp.Params, f *storage.File) *FileSink {
+	s := &FileSink{ION: ion, P: p, F: f}
+	s.init(e)
+	return s
+}
+
+func (s *FileSink) init(e *sim.Engine) {
+	if s.window != nil {
+		return
+	}
+	w := s.P.SockBufBytes
+	if w <= 0 {
+		w = 256 * 1024
+	}
+	s.window = sim.NewResource(e, w)
+	s.drainq = sim.NewQueue[[2]int64](e, 0)
+	s.drainer = e.SpawnDaemon("fs-drain", s.drain)
+}
+
+// drain is the per-stream writeback path: the filesystem-client CPU work is
+// serialized per stream (like a TCP transmit path), overlapped with the ION
+// NIC and the storage servers.
+func (s *FileSink) drain(p *sim.Proc) {
+	eng := p.Engine()
+	for {
+		job := s.drainq.Get(p)
+		if job[1] < 0 {
+			return // stream closed
+		}
+		off, c := job[0], job[1]
+		sim.Fork(p,
+			func(done func()) {
+				s.ION.CPU.ComputeAsync(float64(c)*(s.P.IONSendCost+s.P.IONFSCost), done)
+			},
+			func(done func()) { s.ION.NIC.TransferAsync(eng, c, done) },
+			func(done func()) {
+				eng.Spawn("fs-store", func(sp *sim.Proc) {
+					if err := s.F.ServeWrite(sp, off, c); err != nil {
+						panic(err) // offsets are generated internally; cannot be invalid
+					}
+					done()
+				})
+			},
+		)
+		s.window.Release(c)
+	}
+}
+
+// Write appends n bytes at the stream's write cursor.
+func (s *FileSink) Write(p *sim.Proc, n int64) error {
+	s.init(p.Engine())
+	if s.closed {
+		return errClosed
+	}
+	chunk := s.P.SockChunkBytes
+	if chunk <= 0 {
+		chunk = 128 * 1024
+	}
+	for rem := n; rem > 0; {
+		c := min(chunk, rem)
+		s.window.Acquire(p, c)
+		s.drainq.TryPut([2]int64{s.wcursor, c})
+		s.wcursor += c
+		rem -= c
+	}
+	return nil
+}
+
+// WriteConfirm writes and waits until the stream's buffered data reaches the
+// servers (see DASink.WriteConfirm).
+func (s *FileSink) WriteConfirm(p *sim.Proc, n int64) error {
+	if err := s.Write(p, n); err != nil {
+		return err
+	}
+	s.window.Acquire(p, s.window.Capacity())
+	s.window.Release(s.window.Capacity())
+	return nil
+}
+
+// Read fetches n bytes at the stream's read cursor, blocking for the
+// server round trip, the ION NIC, and the client CPU work.
+func (s *FileSink) Read(p *sim.Proc, n int64) error {
+	s.init(p.Engine())
+	if s.closed {
+		return errClosed
+	}
+	eng := p.Engine()
+	off := s.rcursor
+	s.rcursor += n
+	// Reading back what this stream wrote: wait for writeback to reach the
+	// needed offset first (the client cache would otherwise satisfy it; the
+	// conservative choice keeps ordering strict).
+	if s.rcursor > s.F.Size() {
+		s.window.Acquire(p, s.window.Capacity())
+		s.window.Release(s.window.Capacity())
+	}
+	err := error(nil)
+	sim.Fork(p,
+		func(done func()) {
+			s.ION.CPU.ComputeAsync(float64(n)*(s.P.IONSendCost+s.P.IONFSCost), done)
+		},
+		func(done func()) { s.ION.NIC.TransferAsync(eng, n, done) },
+		func(done func()) {
+			eng.Spawn("fs-load", func(sp *sim.Proc) {
+				err = s.F.ServeRead(sp, off, n)
+				done()
+			})
+		},
+	)
+	return err
+}
+
+// SeekRead resets the read cursor (e.g. to re-read matrices).
+func (s *FileSink) SeekRead(off int64) { s.rcursor = off }
+
+// OpenCost charges the filesystem metadata latency.
+func (s *FileSink) OpenCost(p *sim.Proc) {
+	s.init(p.Engine())
+	if s.P.FileOpenLatency > 0 {
+		p.Sleep(s.P.FileOpenLatency)
+	}
+}
+
+// CloseCost drains the stream, stops its writeback process, and closes the
+// file.
+func (s *FileSink) CloseCost(p *sim.Proc) {
+	s.init(p.Engine())
+	s.window.Acquire(p, s.window.Capacity())
+	s.window.Release(s.window.Capacity())
+	s.closed = true
+	s.drainq.TryPut([2]int64{0, -1})
+	s.F.Close(p)
+}

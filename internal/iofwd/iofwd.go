@@ -1,0 +1,77 @@
+// Package iofwd defines the I/O-forwarding abstractions shared by the four
+// forwarding mechanisms evaluated in the paper — CIOD, ZOID, ZOID with I/O
+// scheduling (work queue), and ZOID with I/O scheduling plus asynchronous
+// data staging — together with their common substrate: the descriptor
+// database, the buffer management layer (BML), and the ION-side sinks
+// (/dev/null, data-analysis nodes, files).
+//
+// A Forwarder executes I/O operations on behalf of a compute node, exactly
+// as the BG/P compute node kernel ships every I/O call to the pset's I/O
+// node. Whether the compute node blocks for the full operation (CIOD, ZOID,
+// work queue) or only for the copy onto the ION (asynchronous staging) is
+// the mechanism under study.
+package iofwd
+
+import (
+	"repro/internal/sim"
+)
+
+// Sink is the terminal consumer or producer of forwarded data on the ION
+// side: /dev/null, a socket to a data-analysis node, or a file on the
+// parallel filesystem. Implementations charge the simulated resources the
+// real operation would consume.
+type Sink interface {
+	// Write consumes n bytes from ION memory, executed by proc p (the
+	// forwarder thread or worker that performs the I/O).
+	Write(p *sim.Proc, n int64) error
+	// Read produces n bytes into ION memory.
+	Read(p *sim.Proc, n int64) error
+}
+
+// SinkOpener is optionally implemented by sinks with open/close costs
+// (socket connect, file metadata). Open and close are always synchronous,
+// even under asynchronous staging (paper Section IV).
+type SinkOpener interface {
+	OpenCost(p *sim.Proc)
+	CloseCost(p *sim.Proc)
+}
+
+// Forwarder is one I/O-forwarding mechanism serving the compute nodes of a
+// single pset.
+type Forwarder interface {
+	// Name identifies the mechanism ("ciod", "zoid", "zoid+wq",
+	// "zoid+wq+async").
+	Name() string
+	// Open forwards an open, binding fd to sink. Synchronous.
+	Open(p *sim.Proc, cn int, sink Sink) (fd int, err error)
+	// Write forwards a write of n bytes on fd from compute node cn. The
+	// calling process is the CN-side application; it blocks according to
+	// the mechanism's semantics. A non-nil error may describe a previous
+	// staged operation on the same descriptor (deferred reporting).
+	Write(p *sim.Proc, cn int, fd int, n int64) error
+	// Read forwards a read of n bytes on fd. Reads block for the data in
+	// every mechanism.
+	Read(p *sim.Proc, cn int, fd int, n int64) error
+	// Close drains outstanding staged operations on fd, releases it, and
+	// returns any still-unreported deferred error. Synchronous.
+	Close(p *sim.Proc, cn int, fd int) error
+	// Drain blocks until every staged operation has completed, so
+	// benchmarks time full data delivery rather than enqueueing.
+	Drain(p *sim.Proc)
+	// Shutdown stops worker processes. The forwarder must not be used
+	// afterwards.
+	Shutdown()
+}
+
+// Stats captures forwarder-side counters for tests and experiments.
+type Stats struct {
+	Ops          uint64
+	BytesWritten int64
+	BytesRead    int64
+	// StagedPeak is the high-water mark of staged-but-unwritten bytes
+	// (asynchronous mechanism only).
+	StagedPeak int64
+	// StallTime is the cumulative virtual time operations spent blocked
+	// waiting for BML memory (asynchronous mechanism only).
+	StallTime sim.Time
+}

@@ -1,0 +1,188 @@
+package iofwd
+
+import (
+	"errors"
+
+	"repro/internal/bgp"
+	"repro/internal/sim"
+)
+
+// errClosed is returned for writes on a torn-down connection.
+var errClosed = errors.New("iofwd: write on closed connection")
+
+// NullSink models writing to /dev/null on the ION — the collective-network
+// microbenchmark of paper Section III-A: data is forwarded and the terminal
+// write costs only a short syscall.
+type NullSink struct {
+	ION *bgp.ION
+	P   bgp.Params
+}
+
+// Write charges the /dev/null write syscall.
+func (s *NullSink) Write(p *sim.Proc, n int64) error {
+	s.ION.CPU.Compute(p, s.P.IONNullWriteCPU)
+	return nil
+}
+
+// Read charges the /dev/null (or /dev/zero) read syscall.
+func (s *NullSink) Read(p *sim.Proc, n int64) error {
+	s.ION.CPU.Compute(p, s.P.IONNullWriteCPU)
+	return nil
+}
+
+// DASink models one TCP connection from the ION to a data-analysis node.
+//
+// A socket write on the ION behaves like the real syscall: the caller copies
+// the payload into the kernel socket buffer and returns as soon as the
+// buffer accepts it; the kernel then drains the buffer asynchronously,
+// spending ION CPU on the TCP transmit path (the Section III-B bottleneck:
+// one 850 MHz core sustains only 307 MiB/s) overlapped with the ION NIC, the
+// DA NIC, and the DA-side receive. When the buffer is full the writer blocks
+// until in-flight bytes drain — the back-pressure that couples a synchronous
+// forwarder to the send path. The fast Xeon DA node is never the constraint,
+// matching the paper's nuttcp observations.
+type DASink struct {
+	ION *bgp.ION
+	DA  *bgp.DANode
+	P   bgp.Params
+
+	window  *sim.Resource     // socket-buffer occupancy cap
+	drainq  *sim.Queue[int64] // chunks awaiting transmit, in order
+	drainer *sim.Proc
+	closed  bool
+}
+
+// NewDASink returns a connected DASink with its socket buffer and transmit
+// path. Callers must eventually invoke CloseCost (forwarders do, via
+// SinkOpener) to stop the connection's transmit process.
+func NewDASink(e *sim.Engine, ion *bgp.ION, da *bgp.DANode, p bgp.Params) *DASink {
+	s := &DASink{ION: ion, DA: da, P: p}
+	s.init(e)
+	return s
+}
+
+func (s *DASink) init(e *sim.Engine) {
+	if s.window != nil {
+		return
+	}
+	w := s.P.SockBufBytes
+	if w <= 0 {
+		w = 256 * 1024
+	}
+	s.window = sim.NewResource(e, w)
+	s.drainq = sim.NewQueue[int64](e, 0)
+	s.drainer = e.SpawnDaemon("tcp-drain", s.drain)
+}
+
+// drain is the per-connection transmit path: chunks leave the socket buffer
+// strictly in order, each paying the TCP transmit CPU (a single stream's
+// protocol work is serialized, which is why one stream cannot exceed one
+// core's ~307 MiB/s no matter how fast the NIC is) overlapped with the ION
+// NIC, DA NIC, and DA receive.
+func (s *DASink) drain(p *sim.Proc) {
+	eng := p.Engine()
+	for {
+		c := s.drainq.Get(p)
+		if c < 0 {
+			return // connection closed
+		}
+		sim.Fork(p,
+			func(done func()) { s.ION.CPU.ComputeAsync(float64(c)*s.P.IONSendCost, done) },
+			func(done func()) { s.ION.NIC.TransferAsync(eng, c, done) },
+			func(done func()) { s.DA.NIC.TransferAsync(eng, c, done) },
+			func(done func()) { s.DA.CPU.ComputeAsync(float64(c)*s.P.DARecvCost, done) },
+		)
+		s.window.Release(c)
+	}
+}
+
+// Write copies n bytes into the socket in SockChunkBytes pieces: the writer
+// blocks on socket-buffer space and the copy into the kernel buffer, while
+// the connection's transmit path drains concurrently.
+func (s *DASink) Write(p *sim.Proc, n int64) error {
+	s.init(p.Engine())
+	if s.closed {
+		return errClosed
+	}
+	chunk := s.P.SockChunkBytes
+	if chunk <= 0 {
+		chunk = 128 * 1024
+	}
+	for off := int64(0); off < n; off += chunk {
+		c := min(chunk, n-off)
+		s.window.Acquire(p, c)
+		// The copy into the kernel buffer is accounted inside IONSendCost:
+		// the paper's 307 MiB/s single-stream figure measures copy +
+		// protocol work together on one core, and both are serialized on
+		// the stream's transmit path.
+		s.drainq.TryPut(c)
+	}
+	return nil
+}
+
+// WriteConfirm writes n bytes and then waits until the connection's socket
+// buffer has fully drained, so the caller knows the data is on the wire.
+// The work-queue worker pool uses this: a worker drives its stream to
+// completion before dequeuing the next task, which is what makes the worker
+// count the machine's I/O parallelism (paper fig 11: one worker cannot
+// exceed the ~307 MiB/s a single core sustains, exactly as in fig 5).
+func (s *DASink) WriteConfirm(p *sim.Proc, n int64) error {
+	if err := s.Write(p, n); err != nil {
+		return err
+	}
+	s.window.Acquire(p, s.window.Capacity())
+	s.window.Release(s.window.Capacity())
+	return nil
+}
+
+// Read streams n bytes DA -> ION (the reverse path, e.g. staging analysis
+// results back).
+func (s *DASink) Read(p *sim.Proc, n int64) error {
+	eng := p.Engine()
+	s.init(eng)
+	sim.Fork(p,
+		func(done func()) { s.DA.CPU.ComputeAsync(float64(n)*s.P.DASendCost, done) },
+		func(done func()) { s.DA.NIC.TransferAsync(eng, n, done) },
+		func(done func()) { s.ION.NIC.TransferAsync(eng, n, done) },
+		func(done func()) { s.ION.CPU.ComputeAsync(float64(n)*s.P.IONSendCost, done) },
+	)
+	return nil
+}
+
+// OpenCost models the TCP connect round trip.
+func (s *DASink) OpenCost(p *sim.Proc) {
+	s.init(p.Engine())
+	p.Sleep(2 * s.P.ExtLatency)
+}
+
+// CloseCost models the TCP teardown: it lingers until the socket buffer has
+// fully drained (accounting for every byte in flight), then stops the
+// connection's transmit process.
+func (s *DASink) CloseCost(p *sim.Proc) {
+	s.init(p.Engine())
+	s.window.Acquire(p, s.window.Capacity())
+	s.window.Release(s.window.Capacity())
+	s.closed = true
+	s.drainq.TryPut(-1)
+	p.Sleep(s.P.ExtLatency)
+}
+
+// FailingSink wraps a Sink and injects an error into every write after the
+// first FailAfter successes — used to exercise the deferred-error path of
+// asynchronous staging.
+type FailingSink struct {
+	Sink
+	FailAfter int
+	Err       error
+
+	writes int
+}
+
+// Write fails once the quota of successful writes is exhausted.
+func (s *FailingSink) Write(p *sim.Proc, n int64) error {
+	s.writes++
+	if s.writes > s.FailAfter {
+		return s.Err
+	}
+	return s.Sink.Write(p, n)
+}

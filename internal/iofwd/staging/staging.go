@@ -1,0 +1,167 @@
+// Package staging implements the paper's second optimization (Section IV,
+// Figure 8): asynchronous data staging layered on work-queue I/O scheduling.
+//
+// A write blocks the application "only for the duration of copying data from
+// the CN to the ION": the ZOID thread receives the payload into a buffer
+// allocated from the buffer management layer (BML), enqueues the I/O task,
+// and replies immediately, letting computation proceed concurrently with the
+// I/O. The descriptor database tracks in-progress and completed operations
+// per descriptor; errors are passed to the application on subsequent
+// operations on the same descriptor. Opens, closes, and attribute queries
+// stay synchronous, and when the BML memory cap is reached the operation
+// blocks until queued operations complete and release buffers.
+package staging
+
+import (
+	"repro/internal/bgp"
+	"repro/internal/iofwd"
+	"repro/internal/sim"
+)
+
+// Config selects the staging parameters.
+type Config struct {
+	// Workers is the worker-thread count (paper default and optimum: 4).
+	Workers int
+	// Batch caps tasks dequeued per worker wakeup.
+	Batch int
+	// BMLBytes is the staging memory cap; zero uses the machine default.
+	BMLBytes int64
+	// Discipline selects the queueing discipline.
+	Discipline iofwd.Discipline
+}
+
+// DefaultConfig matches the paper's configuration.
+func DefaultConfig() Config { return Config{Workers: 4, Batch: 8} }
+
+// Forwarder is ZOID with work-queue scheduling plus asynchronous staging.
+type Forwarder struct {
+	iofwd.Base
+	pool *iofwd.WorkerPool
+	bml  *iofwd.BML
+}
+
+// New returns an asynchronous-staging forwarder for the pset.
+func New(e *sim.Engine, ps *bgp.Pset, p bgp.Params, cfg Config) *Forwarder {
+	if cfg.Workers <= 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.BMLBytes <= 0 {
+		cfg.BMLBytes = p.BMLBytes
+	}
+	f := &Forwarder{Base: iofwd.NewBase(e, ps, p)}
+	f.pool = iofwd.NewWorkerPool(e, ps.ION.CPU, iofwd.PoolConfig{
+		Workers:     cfg.Workers,
+		Batch:       cfg.Batch,
+		DispatchCPU: p.IONWorkerDispatchCPU,
+		Discipline:  cfg.Discipline,
+	})
+	f.bml = iofwd.NewBML(e, cfg.BMLBytes)
+	return f
+}
+
+// Name implements iofwd.Forwarder.
+func (f *Forwarder) Name() string { return "zoid+wq+async" }
+
+// Pool exposes the worker pool for experiment instrumentation.
+func (f *Forwarder) Pool() *iofwd.WorkerPool { return f.pool }
+
+// BML exposes the buffer pool for experiment instrumentation.
+func (f *Forwarder) BML() *iofwd.BML { return f.bml }
+
+// Open implements iofwd.Forwarder. "Operations for opening and closing
+// files and sockets or querying their attributes are handled synchronously."
+func (f *Forwarder) Open(p *sim.Proc, cn int, sink iofwd.Sink) (int, error) {
+	f.UplinkControl(p, f.P.IONCtrlCPUThread)
+	d := f.DB.Open(sink)
+	f.OpenSink(p, sink)
+	f.Reply(p)
+	return d.FD, nil
+}
+
+// Write stages a write asynchronously: allocate a BML buffer (blocking under
+// the memory cap), receive and copy the payload, enqueue the task, and
+// return. Any deferred error from an earlier staged operation on this
+// descriptor is reported now.
+func (f *Forwarder) Write(p *sim.Proc, cn int, fd int, n int64) error {
+	d, err := f.DB.Lookup(fd)
+	if err != nil {
+		return err
+	}
+	deferred := d.TakeError()
+	f.UplinkControl(p, f.P.IONCtrlCPUThread)
+	class := f.bml.Get(p, n)
+	f.UplinkData(p, n, 1)
+	op := f.DB.Start(d)
+	f.pool.Submit(&iofwd.Task{
+		Kind:  iofwd.TaskWrite,
+		Desc:  d,
+		Op:    op,
+		Bytes: n,
+		Done: func(err error) {
+			f.bml.Put(class)
+			f.DB.Complete(d, op, err)
+		},
+	})
+	f.Reply(p) // acknowledges the copy; computation proceeds
+	f.CountWrite(n)
+	return deferred
+}
+
+// Read goes through the work queue but blocks for the data: a read cannot
+// return before the bytes exist on the CN. Deferred write errors on the
+// descriptor are reported here too.
+func (f *Forwarder) Read(p *sim.Proc, cn int, fd int, n int64) error {
+	d, err := f.DB.Lookup(fd)
+	if err != nil {
+		return err
+	}
+	deferred := d.TakeError()
+	f.UplinkControl(p, f.P.IONCtrlCPUThread)
+	// Reads are ordered behind staged writes on the same descriptor so the
+	// application observes its own writes.
+	f.DB.WaitDescriptor(p, d)
+	op := f.DB.Start(d)
+	var result error
+	completed := false
+	f.pool.Submit(&iofwd.Task{
+		Kind:  iofwd.TaskRead,
+		Desc:  d,
+		Op:    op,
+		Bytes: n,
+		Done: func(err error) {
+			result = err
+			completed = true
+			f.DB.Complete(d, op, nil)
+			f.Eng.Ready(p)
+		},
+	})
+	for !completed {
+		p.Suspend()
+	}
+	f.DownlinkData(p, n, 1)
+	f.CountRead(n)
+	if deferred != nil {
+		return deferred
+	}
+	return result
+}
+
+// Close drains the descriptor's staged operations, closes the sink, and
+// reports any unconsumed deferred error.
+func (f *Forwarder) Close(p *sim.Proc, cn int, fd int) error {
+	d, err := f.DB.Lookup(fd)
+	if err != nil {
+		return err
+	}
+	f.UplinkControl(p, f.P.IONCtrlCPUThread)
+	err = f.DB.Close(p, d)
+	f.CloseSink(p, d.Sink)
+	f.Reply(p)
+	return err
+}
+
+// Drain blocks until every staged operation in the database has completed.
+func (f *Forwarder) Drain(p *sim.Proc) { f.DB.WaitAll(p) }
+
+// Shutdown stops the worker pool.
+func (f *Forwarder) Shutdown() { f.pool.Shutdown() }

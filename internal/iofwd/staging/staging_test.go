@@ -1,0 +1,162 @@
+package staging
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/iofwd"
+	"repro/internal/sim"
+)
+
+func machine(e *sim.Engine) (*bgp.Machine, bgp.Params) {
+	p := bgp.Default()
+	return bgp.NewMachine(e, bgp.Config{Psets: 1, CNsPerPset: 4, DANodes: 1, Params: &p}), p
+}
+
+func TestWriteReturnsBeforeSinkCompletes(t *testing.T) {
+	e := sim.New(1)
+	m, p := machine(e)
+	f := New(e, m.Psets[0], p, Config{Workers: 1, Batch: 1})
+	slow := &slowSink{delay: sim.Second}
+	var writeReturned, drained sim.Time
+	e.Spawn("cn", func(proc *sim.Proc) {
+		fd, err := f.Open(proc, 0, slow)
+		if err != nil {
+			t.Errorf("open: %v", err)
+		}
+		if err := f.Write(proc, 0, fd, 1<<20); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		writeReturned = proc.Now()
+		f.Drain(proc)
+		drained = proc.Now()
+		if err := f.Close(proc, 0, fd); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	e.Run(0)
+	f.Shutdown()
+	// The application resumes long before the slow sink finishes; Drain
+	// waits for the full second of sink time.
+	if writeReturned >= sim.Second {
+		t.Fatalf("write blocked until %v; staging did not overlap", writeReturned)
+	}
+	if drained < sim.Second {
+		t.Fatalf("drain returned at %v, before the sink completed", drained)
+	}
+}
+
+func TestDeferredErrorSurfacesOnNextOp(t *testing.T) {
+	e := sim.New(1)
+	m, p := machine(e)
+	f := New(e, m.Psets[0], p, Config{Workers: 1, Batch: 1})
+	boom := errors.New("remote wall unplugged")
+	sink := &failOnceSink{Sink: &iofwd.NullSink{ION: m.Psets[0].ION, P: p}, err: boom}
+	e.Spawn("cn", func(proc *sim.Proc) {
+		fd, _ := f.Open(proc, 0, sink)
+		if err := f.Write(proc, 0, fd, 4096); err != nil {
+			t.Errorf("first write returned %v; the failure had not happened yet", err)
+		}
+		f.Drain(proc)
+		err := f.Write(proc, 0, fd, 4096)
+		if err == nil || !errors.Is(err, boom) {
+			t.Errorf("second write = %v, want deferred boom", err)
+		}
+		// The second write itself was staged successfully and its (nil)
+		// status must not resurrect the consumed error.
+		f.Drain(proc)
+		if err := f.Close(proc, 0, fd); err != nil {
+			t.Errorf("close after consumed error = %v", err)
+		}
+	})
+	e.Run(0)
+	f.Shutdown()
+}
+
+func TestCloseDrainsAndReportsError(t *testing.T) {
+	e := sim.New(1)
+	m, p := machine(e)
+	f := New(e, m.Psets[0], p, Config{Workers: 1, Batch: 1})
+	boom := errors.New("boom")
+	sink := &iofwd.FailingSink{Sink: &iofwd.NullSink{ION: m.Psets[0].ION, P: p}, FailAfter: 0, Err: boom}
+	e.Spawn("cn", func(proc *sim.Proc) {
+		fd, _ := f.Open(proc, 0, sink)
+		if err := f.Write(proc, 0, fd, 4096); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := f.Close(proc, 0, fd); err == nil || !errors.Is(err, boom) {
+			t.Errorf("close = %v, want deferred boom", err)
+		}
+	})
+	e.Run(0)
+	f.Shutdown()
+}
+
+func TestBMLCapBlocksStaging(t *testing.T) {
+	e := sim.New(1)
+	m, p := machine(e)
+	// Room for exactly one staged 1 MiB buffer.
+	f := New(e, m.Psets[0], p, Config{Workers: 1, Batch: 1, BMLBytes: 1 << 20})
+	slow := &slowSink{delay: sim.Second}
+	var second sim.Time
+	e.Spawn("cn", func(proc *sim.Proc) {
+		fd, _ := f.Open(proc, 0, slow)
+		_ = f.Write(proc, 0, fd, 1<<20)
+		_ = f.Write(proc, 0, fd, 1<<20) // must block until the first buffer frees
+		second = proc.Now()
+		f.Drain(proc)
+		_ = f.Close(proc, 0, fd)
+	})
+	e.Run(0)
+	f.Shutdown()
+	if second < sim.Second {
+		t.Fatalf("second staged write returned at %v; BML cap not enforced", second)
+	}
+	if f.BML().StallTime() == 0 {
+		t.Fatal("no BML stall recorded")
+	}
+}
+
+func TestReadsOrderedBehindStagedWrites(t *testing.T) {
+	e := sim.New(1)
+	m, p := machine(e)
+	f := New(e, m.Psets[0], p, Config{Workers: 2, Batch: 2})
+	slow := &slowSink{delay: sim.Second}
+	var readAt sim.Time
+	e.Spawn("cn", func(proc *sim.Proc) {
+		fd, _ := f.Open(proc, 0, slow)
+		_ = f.Write(proc, 0, fd, 4096)
+		if err := f.Read(proc, 0, fd, 4096); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		readAt = proc.Now()
+		_ = f.Close(proc, 0, fd)
+	})
+	e.Run(0)
+	f.Shutdown()
+	if readAt < sim.Second {
+		t.Fatalf("read completed at %v, before the staged write (1s)", readAt)
+	}
+}
+
+// failOnceSink fails exactly the first write, then recovers.
+type failOnceSink struct {
+	iofwd.Sink
+	err    error
+	failed bool
+}
+
+func (s *failOnceSink) Write(p *sim.Proc, n int64) error {
+	if !s.failed {
+		s.failed = true
+		return s.err
+	}
+	return s.Sink.Write(p, n)
+}
+
+// slowSink spends fixed virtual time per operation.
+type slowSink struct{ delay sim.Time }
+
+func (s *slowSink) Write(p *sim.Proc, n int64) error { p.Sleep(s.delay); return nil }
+func (s *slowSink) Read(p *sim.Proc, n int64) error  { p.Sleep(s.delay); return nil }

@@ -1,0 +1,77 @@
+package zoid
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/iofwd"
+	"repro/internal/sim"
+)
+
+func TestSynchronousSemantics(t *testing.T) {
+	e := sim.New(1)
+	p := bgp.Default()
+	m := bgp.NewMachine(e, bgp.Config{Psets: 1, CNsPerPset: 1, DANodes: 1, Params: &p})
+	f := New(e, m.Psets[0], p)
+	slow := &slowSink{delay: sim.Second}
+	var wrote sim.Time
+	e.Spawn("cn", func(proc *sim.Proc) {
+		fd, err := f.Open(proc, 0, slow)
+		if err != nil {
+			t.Errorf("open: %v", err)
+		}
+		if err := f.Write(proc, 0, fd, 4096); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		wrote = proc.Now()
+		if err := f.Close(proc, 0, fd); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	e.Run(0)
+	if wrote < sim.Second {
+		t.Fatalf("write returned at %v; ZOID must block for the sink", wrote)
+	}
+	if st := f.Stats(); st.BytesWritten != 4096 || st.Ops != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestErrorsReturnedDirectly(t *testing.T) {
+	e := sim.New(1)
+	p := bgp.Default()
+	m := bgp.NewMachine(e, bgp.Config{Psets: 1, CNsPerPset: 1, Params: &p})
+	f := New(e, m.Psets[0], p)
+	boom := errors.New("boom")
+	sink := &iofwd.FailingSink{Sink: &iofwd.NullSink{ION: m.Psets[0].ION, P: p}, FailAfter: 0, Err: boom}
+	e.Spawn("cn", func(proc *sim.Proc) {
+		fd, _ := f.Open(proc, 0, sink)
+		if err := f.Write(proc, 0, fd, 128); !errors.Is(err, boom) {
+			t.Errorf("write = %v, want boom immediately", err)
+		}
+		_ = f.Close(proc, 0, fd)
+	})
+	e.Run(0)
+}
+
+func TestBadDescriptor(t *testing.T) {
+	e := sim.New(1)
+	p := bgp.Default()
+	m := bgp.NewMachine(e, bgp.Config{Psets: 1, CNsPerPset: 1, Params: &p})
+	f := New(e, m.Psets[0], p)
+	e.Spawn("cn", func(proc *sim.Proc) {
+		if err := f.Write(proc, 0, 12345, 128); err == nil {
+			t.Error("write on unknown fd succeeded")
+		}
+		if err := f.Close(proc, 0, 12345); err == nil {
+			t.Error("close on unknown fd succeeded")
+		}
+	})
+	e.Run(0)
+}
+
+type slowSink struct{ delay sim.Time }
+
+func (s *slowSink) Write(p *sim.Proc, n int64) error { p.Sleep(s.delay); return nil }
+func (s *slowSink) Read(p *sim.Proc, n int64) error  { p.Sleep(s.delay); return nil }

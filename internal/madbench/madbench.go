@@ -1,0 +1,231 @@
+// Package madbench models MADbench2 (paper V-B), the out-of-core cosmic
+// microwave background analysis benchmark derived from the MADspec code. In
+// I/O mode it is a generator of very large contiguous writes and reads:
+// every process writes its share of NBin component matrices in the S phase,
+// reads them back with busy-work in the W phase, and reads again in the C
+// phase. The paper runs it with α = 1 (no significant computation, no MPI),
+// RMOD = WMOD = 1 (all processes perform I/O concurrently), NPIX = 4096 at
+// 64 nodes and 8192 at 256 nodes, giving roughly 2 MiB per operation per
+// process.
+package madbench
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/iofwd"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Nodes is the number of compute processes (one per CN); must be a
+	// multiple of 64 or less than 64 for a single pset.
+	Nodes int
+	// NPix is the pixel count: each component matrix is NPix^2 pixels of 8
+	// bytes, split evenly across processes.
+	NPix int
+	// NBin is the number of component matrices (the paper uses 1024; runs
+	// here default lower and scale linearly, which EXPERIMENTS.md records).
+	NBin int
+	// Alpha is the busy-work exponent; <= 1 means I/O mode (no significant
+	// computation), matching the paper's configuration.
+	Alpha float64
+	// Phases selects which of S (write), W (read+busywork), C (read) run;
+	// empty means all three.
+	Phases string
+	// Forwarder selects the I/O forwarding mechanism under test.
+	NewForwarder func(e *sim.Engine, ps *bgp.Pset, p bgp.Params) iofwd.Forwarder
+	// Params overrides the machine parameters.
+	Params *bgp.Params
+	// Storage overrides the filesystem configuration.
+	Storage *storage.Config
+}
+
+// Result reports a run's aggregate I/O performance.
+type Result struct {
+	ThroughputMiBps float64
+	Elapsed         sim.Time
+	TotalBytes      int64
+	// Phase durations, in order S, W, C (zero if skipped).
+	PhaseS, PhaseW, PhaseC sim.Time
+	// OpBytes is the per-process operation size (paper: ~2 MiB).
+	OpBytes int64
+}
+
+// MatrixBytes returns the total size of one component matrix.
+func MatrixBytes(npix int) int64 { return int64(npix) * int64(npix) * 8 }
+
+// OpBytes returns the per-process share of one matrix.
+func OpBytes(npix, nodes int) int64 { return MatrixBytes(npix) / int64(nodes) }
+
+// Run executes the benchmark on a fresh simulated machine and returns the
+// aggregate throughput across all phases, computed the way the benchmark
+// reports it: total bytes moved over total elapsed time.
+func Run(cfg Config) Result {
+	if cfg.Nodes <= 0 || cfg.NPix <= 0 || cfg.NBin <= 0 {
+		panic(fmt.Sprintf("madbench: invalid config %+v", cfg))
+	}
+	if cfg.Phases == "" {
+		cfg.Phases = "SWC"
+	}
+	e := sim.New(1)
+	p := bgp.Default()
+	if cfg.Params != nil {
+		p = *cfg.Params
+	}
+	psets := (cfg.Nodes + 63) / 64
+	perPset := cfg.Nodes / psets
+	m := bgp.NewMachine(e, bgp.Config{Psets: psets, CNsPerPset: perPset, Params: &p})
+
+	scfg := storage.Config{
+		FSNs:          p.FSNCount,
+		StripeBytes:   p.StripeBytes,
+		NICBandwidth:  p.FSNBandwidth,
+		DiskBandwidth: p.FSNDiskBandwidth,
+		OpenLatency:   p.FileOpenLatency,
+	}
+	if cfg.Storage != nil {
+		scfg = *cfg.Storage
+	}
+	fs := storage.New(e, scfg)
+
+	op := OpBytes(cfg.NPix, cfg.Nodes)
+	phases := cfg.Phases
+	hasPhase := func(ph byte) bool {
+		for i := 0; i < len(phases); i++ {
+			if phases[i] == ph {
+				return true
+			}
+		}
+		return false
+	}
+
+	var fwds []iofwd.Forwarder
+	total := cfg.Nodes
+	startBar := newPhaseBarrier(e, total)
+	sBar := newPhaseBarrier(e, total)
+	wBar := newPhaseBarrier(e, total)
+	var endAt sim.Time
+	finished := 0
+
+	for pi, ps := range m.Psets {
+		fwd := cfg.NewForwarder(e, ps, p)
+		fwds = append(fwds, fwd)
+		for cn := 0; cn < ps.CNs; cn++ {
+			rank := pi*ps.CNs + cn
+			cn := cn
+			e.Spawn(fmt.Sprintf("madbench-rank%d", rank), func(proc *sim.Proc) {
+				// One file per process, as MADbench2's individual-file mode.
+				file := fs.Open(proc, fmt.Sprintf("rank%08d.dat", rank))
+				sink := iofwd.NewFileSink(e, ps.ION, p, file)
+				fd, err := fwd.Open(proc, cn, sink)
+				if err != nil {
+					panic(err)
+				}
+				startBar.wait(proc)
+				if hasPhase('S') {
+					for b := 0; b < cfg.NBin; b++ {
+						busywork(proc, cfg.Alpha, op)
+						if err := fwd.Write(proc, cn, fd, op); err != nil {
+							panic(err)
+						}
+					}
+					fwd.Drain(proc)
+				}
+				sBar.wait(proc)
+				if hasPhase('W') {
+					sink.SeekRead(0)
+					for b := 0; b < cfg.NBin; b++ {
+						if err := fwd.Read(proc, cn, fd, op); err != nil {
+							panic(err)
+						}
+						busywork(proc, cfg.Alpha, op)
+					}
+				}
+				wBar.wait(proc)
+				if hasPhase('C') {
+					sink.SeekRead(0)
+					for b := 0; b < cfg.NBin; b++ {
+						if err := fwd.Read(proc, cn, fd, op); err != nil {
+							panic(err)
+						}
+					}
+				}
+				if err := fwd.Close(proc, cn, fd); err != nil {
+					panic(err)
+				}
+				finished++
+				if finished == total {
+					endAt = proc.Now()
+				}
+			})
+		}
+	}
+	e.Run(0)
+	for _, fwd := range fwds {
+		fwd.Shutdown()
+	}
+
+	var bytes int64
+	perPhase := int64(cfg.Nodes) * int64(cfg.NBin) * op
+	var r Result
+	if hasPhase('S') {
+		bytes += perPhase
+		r.PhaseS = sBar.at - startBar.at
+	}
+	if hasPhase('W') {
+		bytes += perPhase
+		r.PhaseW = wBar.at - sBar.at
+	}
+	if hasPhase('C') {
+		bytes += perPhase
+		r.PhaseC = endAt - wBar.at
+	}
+	elapsed := endAt - startBar.at
+	r.ThroughputMiBps = float64(bytes) / elapsed.Seconds() / bgp.MiB
+	r.Elapsed = elapsed
+	r.TotalBytes = bytes
+	r.OpBytes = op
+	return r
+}
+
+// busywork models the α-scaled computation between I/O operations; α <= 1
+// is I/O mode (the paper's setting) and performs none.
+func busywork(p *sim.Proc, alpha float64, opBytes int64) {
+	if alpha <= 1 {
+		return
+	}
+	// Busy-work scales superlinearly with α, normalized so that α = 2
+	// computes for about as long as one 2 MiB operation takes to forward.
+	base := float64(opBytes) / (400e6)
+	p.Sleep(sim.Seconds(base * (alpha - 1)))
+}
+
+// phaseBarrier is a reusable single-shot barrier recording its release time.
+type phaseBarrier struct {
+	eng     *sim.Engine
+	n       int
+	arrived int
+	waiting []*sim.Proc
+	at      sim.Time
+}
+
+func newPhaseBarrier(e *sim.Engine, n int) *phaseBarrier {
+	return &phaseBarrier{eng: e, n: n}
+}
+
+func (b *phaseBarrier) wait(p *sim.Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.at = p.Now()
+		for _, w := range b.waiting {
+			b.eng.Ready(w)
+		}
+		b.waiting = nil
+		return
+	}
+	b.waiting = append(b.waiting, p)
+	p.Suspend()
+}

@@ -1,0 +1,107 @@
+package madbench
+
+import (
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/iofwd"
+	"repro/internal/iofwd/ciod"
+	"repro/internal/iofwd/staging"
+	"repro/internal/iofwd/zoid"
+	"repro/internal/sim"
+)
+
+func TestOpSizesMatchPaper(t *testing.T) {
+	// Paper V-B: NPIX=4096 at 64 nodes and NPIX=8192 at 256 nodes give
+	// roughly 2 MiB per operation per process.
+	if got := OpBytes(4096, 64); got != 2<<20 {
+		t.Fatalf("OpBytes(4096, 64) = %d, want 2 MiB", got)
+	}
+	if got := OpBytes(8192, 256); got != 2<<20 {
+		t.Fatalf("OpBytes(8192, 256) = %d, want 2 MiB", got)
+	}
+	// "In aggregate, the I/O performed by the benchmark totaled 128 GB for
+	// 64 nodes": one full pass of 1024 matrices.
+	total := MatrixBytes(4096) * 1024
+	if total != 128<<30 {
+		t.Fatalf("one pass = %d bytes, want 128 GiB", total)
+	}
+}
+
+func run(t *testing.T, nodes int, mk func(e *sim.Engine, ps *bgp.Pset, p bgp.Params) iofwd.Forwarder, phases string) Result {
+	t.Helper()
+	return Run(Config{
+		Nodes: nodes, NPix: 4096, NBin: 4, Alpha: 1, Phases: phases,
+		NewForwarder: mk,
+	})
+}
+
+func TestPhasesMoveExpectedBytes(t *testing.T) {
+	mk := func(e *sim.Engine, ps *bgp.Pset, p bgp.Params) iofwd.Forwarder { return zoid.New(e, ps, p) }
+	r := run(t, 64, mk, "SWC")
+	want := int64(64) * 4 * OpBytes(4096, 64) * 3
+	if r.TotalBytes != want {
+		t.Fatalf("total bytes %d, want %d", r.TotalBytes, want)
+	}
+	if r.PhaseS <= 0 || r.PhaseW <= 0 || r.PhaseC <= 0 {
+		t.Fatalf("phase durations %v %v %v", r.PhaseS, r.PhaseW, r.PhaseC)
+	}
+	if r.OpBytes != 2<<20 {
+		t.Fatalf("op bytes %d", r.OpBytes)
+	}
+}
+
+func TestWriteOnlyPhase(t *testing.T) {
+	mk := func(e *sim.Engine, ps *bgp.Pset, p bgp.Params) iofwd.Forwarder { return zoid.New(e, ps, p) }
+	r := run(t, 64, mk, "S")
+	want := int64(64) * 4 * OpBytes(4096, 64)
+	if r.TotalBytes != want {
+		t.Fatalf("total bytes %d, want %d", r.TotalBytes, want)
+	}
+	if r.PhaseW != 0 || r.PhaseC != 0 {
+		t.Fatalf("skipped phases have durations %v %v", r.PhaseW, r.PhaseC)
+	}
+}
+
+// TestStagingBeatsBaselines is the figure-13 headline at small scale: the
+// optimized forwarder outperforms CIOD on the MADbench2 workload.
+func TestStagingBeatsBaselines(t *testing.T) {
+	ciodR := run(t, 64, func(e *sim.Engine, ps *bgp.Pset, p bgp.Params) iofwd.Forwarder {
+		return ciod.New(e, ps, p)
+	}, "SWC")
+	asyncR := run(t, 64, func(e *sim.Engine, ps *bgp.Pset, p bgp.Params) iofwd.Forwarder {
+		return staging.New(e, ps, p, staging.Config{Workers: 4})
+	}, "SWC")
+	if asyncR.ThroughputMiBps < ciodR.ThroughputMiBps*1.3 {
+		t.Fatalf("async %.0f not >30%% over ciod %.0f (paper: +53%%)",
+			asyncR.ThroughputMiBps, ciodR.ThroughputMiBps)
+	}
+}
+
+func TestWeakScaling(t *testing.T) {
+	mk := func(e *sim.Engine, ps *bgp.Pset, p bgp.Params) iofwd.Forwarder { return zoid.New(e, ps, p) }
+	r64 := Run(Config{Nodes: 64, NPix: 4096, NBin: 2, Alpha: 1, NewForwarder: mk})
+	r256 := Run(Config{Nodes: 256, NPix: 8192, NBin: 2, Alpha: 1, NewForwarder: mk})
+	// 4 psets move ~4x the aggregate of 1 pset.
+	if r256.ThroughputMiBps < 3*r64.ThroughputMiBps {
+		t.Fatalf("256 nodes %.0f not ~4x of 64 nodes %.0f", r256.ThroughputMiBps, r64.ThroughputMiBps)
+	}
+}
+
+func TestBusyworkExtendsRuntime(t *testing.T) {
+	mk := func(e *sim.Engine, ps *bgp.Pset, p bgp.Params) iofwd.Forwarder { return zoid.New(e, ps, p) }
+	io := Run(Config{Nodes: 64, NPix: 4096, NBin: 2, Alpha: 1, Phases: "S", NewForwarder: mk})
+	busy := Run(Config{Nodes: 64, NPix: 4096, NBin: 2, Alpha: 3, Phases: "S", NewForwarder: mk})
+	if busy.Elapsed <= io.Elapsed {
+		t.Fatalf("alpha=3 run (%v) not longer than I/O mode (%v)", busy.Elapsed, io.Elapsed)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func(e *sim.Engine, ps *bgp.Pset, p bgp.Params) iofwd.Forwarder { return zoid.New(e, ps, p) }
+	a := run(t, 64, mk, "S")
+	b := run(t, 64, mk, "S")
+	if a.Elapsed != b.Elapsed {
+		t.Fatalf("runs diverged: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}

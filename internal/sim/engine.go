@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Engine is a deterministic discrete-event simulation engine. It is not safe
+// for concurrent use: all interaction must happen from the goroutine that
+// called Run, or from process goroutines while they hold the run token.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	parked chan struct{} // handoff: process goroutine -> engine loop
+	rng    *rand.Rand
+	nlive  int // live (spawned, not yet dead) processes
+	trace  func(t Time, format string, args ...any)
+}
+
+// New returns an engine whose random source is seeded with seed. The same
+// seed always yields the same simulation.
+func New(seed int64) *Engine {
+	return &Engine{
+		parked: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SetTrace installs a trace callback invoked by Tracef. A nil callback
+// disables tracing.
+func (e *Engine) SetTrace(fn func(t Time, format string, args ...any)) { e.trace = fn }
+
+// Tracef emits a trace record at the current virtual time if tracing is on.
+func (e *Engine) Tracef(format string, args ...any) {
+	if e.trace != nil {
+		e.trace(e.now, format, args...)
+	}
+}
+
+// Timer is a scheduled callback that can be cancelled before it fires.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// At schedules fn to run after delay d of virtual time. Negative delays are
+// an error in simulation logic and panic. Events scheduled for the same time
+// fire in scheduling order.
+func (e *Engine) At(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	ev := &event{at: e.now + d, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Run executes events until the queue is empty or the virtual clock would
+// pass limit (limit <= 0 means no limit). It returns the final virtual time.
+// Run panics if processes are still live when the event queue drains, as
+// that means the simulation deadlocked.
+func (e *Engine) Run(limit Time) Time {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if limit > 0 && ev.at > limit {
+			e.now = limit
+			return e.now
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: event time %v before now %v", ev.at, e.now))
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.nlive > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) still blocked with no pending events at t=%v", e.nlive, e.now))
+	}
+	return e.now
+}
+
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,494 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.At(3*Second, func() { got = append(got, 3) })
+	e.At(1*Second, func() { got = append(got, 1) })
+	e.At(2*Second, func() { got = append(got, 2) })
+	e.Run(0)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*Second {
+		t.Fatalf("final time %v, want 3s", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Second, func() { got = append(got, i) })
+	}
+	e.Run(0)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New(1)
+	fired := false
+	tm := e.At(Second, func() { fired = true })
+	e.At(Millisecond, func() {
+		if !tm.Stop() {
+			t.Error("Stop returned false for pending timer")
+		}
+		if tm.Stop() {
+			t.Error("second Stop returned true")
+		}
+	})
+	e.Run(0)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	e := New(1)
+	fired := false
+	e.At(2*Second, func() { fired = true })
+	end := e.Run(Second)
+	if fired {
+		t.Fatal("event beyond limit fired")
+	}
+	if end != Second {
+		t.Fatalf("Run returned %v, want 1s", end)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative delay")
+		}
+	}()
+	New(1).At(-1, func() {})
+}
+
+func TestProcSleep(t *testing.T) {
+	e := New(1)
+	var wake Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * Second)
+		wake = p.Now()
+	})
+	e.Run(0)
+	if wake != 5*Second {
+		t.Fatalf("woke at %v, want 5s", wake)
+	}
+}
+
+func TestProcSequentialSleeps(t *testing.T) {
+	e := New(1)
+	var marks []Time
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(Second)
+			marks = append(marks, p.Now())
+		}
+	})
+	e.Run(0)
+	for i, m := range marks {
+		if m != Time(i+1)*Second {
+			t.Fatalf("mark %d at %v", i, m)
+		}
+	}
+}
+
+func TestProcJoin(t *testing.T) {
+	e := New(1)
+	var joinedAt Time
+	worker := e.Spawn("worker", func(p *Proc) { p.Sleep(3 * Second) })
+	e.Spawn("joiner", func(p *Proc) {
+		p.Join(worker)
+		joinedAt = p.Now()
+	})
+	e.Run(0)
+	if joinedAt != 3*Second {
+		t.Fatalf("joined at %v, want 3s", joinedAt)
+	}
+}
+
+func TestJoinDeadProcReturnsImmediately(t *testing.T) {
+	e := New(1)
+	worker := e.Spawn("worker", func(p *Proc) {})
+	ok := false
+	e.Spawn("joiner", func(p *Proc) {
+		p.Sleep(Second) // ensure worker is already dead
+		p.Join(worker)
+		ok = true
+	})
+	e.Run(0)
+	if !ok {
+		t.Fatal("join on dead proc did not return")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no deadlock panic")
+		}
+	}()
+	e := New(1)
+	e.Spawn("stuck", func(p *Proc) { p.Suspend() })
+	e.Run(0)
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := New(1)
+	wg := e.NewWaitGroup(3)
+	for i := 1; i <= 3; i++ {
+		d := Time(i) * Second
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(d)
+			wg.Done()
+		})
+	}
+	var doneAt Time
+	e.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	e.Run(0)
+	if doneAt != 3*Second {
+		t.Fatalf("waitgroup released at %v, want 3s", doneAt)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	e := New(1)
+	q := NewQueue[int](e, 0)
+	var got []int
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(Millisecond)
+			q.Put(p, i)
+		}
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, q.Get(p))
+		}
+	})
+	e.Run(0)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("queue order %v", got)
+		}
+	}
+}
+
+func TestQueueCapacityBlocks(t *testing.T) {
+	e := New(1)
+	q := NewQueue[int](e, 2)
+	var thirdPutAt Time
+	e.Spawn("producer", func(p *Proc) {
+		q.Put(p, 0)
+		q.Put(p, 1)
+		q.Put(p, 2) // must block until consumer drains one
+		thirdPutAt = p.Now()
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		p.Sleep(Second)
+		q.Get(p)
+	})
+	e.Run(0)
+	if thirdPutAt != Second {
+		t.Fatalf("third Put completed at %v, want 1s", thirdPutAt)
+	}
+}
+
+func TestQueueGetBatch(t *testing.T) {
+	e := New(1)
+	q := NewQueue[int](e, 0)
+	var batch []int
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < 7; i++ {
+			q.Put(p, i)
+		}
+	})
+	e.Spawn("c", func(p *Proc) {
+		p.Sleep(Millisecond)
+		batch = q.GetBatch(p, 4)
+	})
+	e.Run(0)
+	if len(batch) != 4 || batch[0] != 0 || batch[3] != 3 {
+		t.Fatalf("batch = %v", batch)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("remaining %d, want 3", q.Len())
+	}
+}
+
+func TestQueueTryOps(t *testing.T) {
+	e := New(1)
+	q := NewQueue[int](e, 1)
+	e.Spawn("p", func(p *Proc) {
+		if _, ok := q.TryGet(); ok {
+			t.Error("TryGet on empty queue succeeded")
+		}
+		if !q.TryPut(7) {
+			t.Error("TryPut on empty queue failed")
+		}
+		if q.TryPut(8) {
+			t.Error("TryPut on full queue succeeded")
+		}
+		v, ok := q.TryGet()
+		if !ok || v != 7 {
+			t.Errorf("TryGet = %d,%v", v, ok)
+		}
+	})
+	e.Run(0)
+}
+
+func TestResourceBlocking(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, 10)
+	var acquiredAt Time
+	e.Spawn("big", func(p *Proc) {
+		r.Acquire(p, 8)
+		p.Sleep(Second)
+		r.Release(8)
+	})
+	e.Spawn("second", func(p *Proc) {
+		p.Sleep(Millisecond)
+		r.Acquire(p, 5) // only 2 free; must wait for release at t=1s
+		acquiredAt = p.Now()
+		r.Release(5)
+	})
+	e.Run(0)
+	if acquiredAt != Second {
+		t.Fatalf("acquired at %v, want 1s", acquiredAt)
+	}
+	if r.Available() != 10 {
+		t.Fatalf("available %d, want 10", r.Available())
+	}
+}
+
+func TestResourceFIFONoStarvation(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, 10)
+	var order []string
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 10)
+		p.Sleep(Second)
+		r.Release(10)
+	})
+	e.Spawn("large", func(p *Proc) {
+		p.Sleep(Millisecond)
+		r.Acquire(p, 9)
+		order = append(order, "large")
+		p.Sleep(Second)
+		r.Release(9)
+	})
+	e.Spawn("small", func(p *Proc) {
+		p.Sleep(2 * Millisecond)
+		r.Acquire(p, 1)
+		order = append(order, "small")
+		r.Release(1)
+	})
+	e.Run(0)
+	if len(order) != 2 || order[0] != "large" {
+		t.Fatalf("admission order %v, want [large small]", order)
+	}
+}
+
+func TestPSOneJobExactTime(t *testing.T) {
+	e := New(1)
+	ps := NewPS(e, 1, 100) // 100 units/sec
+	var doneAt Time
+	e.Spawn("j", func(p *Proc) {
+		ps.Serve(p, 50)
+		doneAt = p.Now()
+	})
+	e.Run(0)
+	if math.Abs(doneAt.Seconds()-0.5) > 1e-9 {
+		t.Fatalf("done at %v, want 0.5s", doneAt)
+	}
+}
+
+func TestPSEqualSharing(t *testing.T) {
+	e := New(1)
+	ps := NewPS(e, 1, 100)
+	var done [2]Time
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("j%d", i), func(p *Proc) {
+			ps.Serve(p, 50)
+			done[i] = p.Now()
+		})
+	}
+	e.Run(0)
+	// Two equal jobs sharing a single server both finish at 1s.
+	for i, d := range done {
+		if math.Abs(d.Seconds()-1.0) > 1e-6 {
+			t.Fatalf("job %d done at %v, want 1s", i, d)
+		}
+	}
+}
+
+func TestPSMulticoreNoSharingBelowCapacity(t *testing.T) {
+	e := New(1)
+	ps := NewPS(e, 4, 100)
+	var done [4]Time
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("j%d", i), func(p *Proc) {
+			ps.Serve(p, 100)
+			done[i] = p.Now()
+		})
+	}
+	e.Run(0)
+	for i, d := range done {
+		if math.Abs(d.Seconds()-1.0) > 1e-6 {
+			t.Fatalf("job %d done at %v, want 1s (4 jobs on 4 servers)", i, d)
+		}
+	}
+}
+
+func TestPSStaggeredArrivals(t *testing.T) {
+	e := New(1)
+	ps := NewPS(e, 1, 100)
+	var firstDone, secondDone Time
+	e.Spawn("first", func(p *Proc) {
+		ps.Serve(p, 100)
+		firstDone = p.Now()
+	})
+	e.Spawn("second", func(p *Proc) {
+		p.Sleep(Second / 2)
+		ps.Serve(p, 100)
+		secondDone = p.Now()
+	})
+	e.Run(0)
+	// First runs alone [0, 0.5): gets 50. Then shares: each at 50/s.
+	// First needs 50 more: done at 1.5s. Second then runs alone with 50
+	// left at 100/s: done at 2.0s.
+	if math.Abs(firstDone.Seconds()-1.5) > 1e-6 {
+		t.Fatalf("first done at %v, want 1.5s", firstDone)
+	}
+	if math.Abs(secondDone.Seconds()-2.0) > 1e-6 {
+		t.Fatalf("second done at %v, want 2.0s", secondDone)
+	}
+}
+
+func TestPSEfficiencyCurve(t *testing.T) {
+	e := New(1)
+	ps := NewPS(e, 1, 100)
+	ps.SetEfficiency(func(k int) float64 {
+		if k > 1 {
+			return 0.5
+		}
+		return 1
+	})
+	var done [2]Time
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("j%d", i), func(p *Proc) {
+			ps.Serve(p, 50)
+			done[i] = p.Now()
+		})
+	}
+	e.Run(0)
+	// Total rate halves with 2 jobs: 100 units of total work at 50/s = 2s.
+	for i, d := range done {
+		if math.Abs(d.Seconds()-2.0) > 1e-6 {
+			t.Fatalf("job %d done at %v, want 2s", i, d)
+		}
+	}
+}
+
+func TestPSZeroDemandImmediate(t *testing.T) {
+	e := New(1)
+	ps := NewPS(e, 1, 100)
+	e.Spawn("j", func(p *Proc) {
+		ps.Serve(p, 0)
+		if p.Now() != 0 {
+			t.Errorf("zero demand advanced time to %v", p.Now())
+		}
+	})
+	e.Run(0)
+}
+
+func TestPSWorkConservation(t *testing.T) {
+	// Property: total delivered work equals the sum of demands, and busy
+	// time never exceeds the makespan, across randomized workloads.
+	for trial := 0; trial < 20; trial++ {
+		e := New(int64(trial))
+		ps := NewPS(e, 3, 77)
+		rng := e.Rand()
+		n := 2 + rng.Intn(20)
+		var totalDemand float64
+		for i := 0; i < n; i++ {
+			demand := 1 + rng.Float64()*100
+			start := Time(rng.Int63n(int64(Second)))
+			totalDemand += demand
+			e.Spawn(fmt.Sprintf("j%d", i), func(p *Proc) {
+				p.Sleep(start)
+				ps.Serve(p, demand)
+			})
+		}
+		end := e.Run(0)
+		got := ps.TotalWork()
+		if math.Abs(got-totalDemand) > 1e-6*totalDemand+1e-9 {
+			t.Fatalf("trial %d: delivered %g, demanded %g", trial, got, totalDemand)
+		}
+		if ps.BusyTime() > end {
+			t.Fatalf("trial %d: busy %v exceeds makespan %v", trial, ps.BusyTime(), end)
+		}
+		if ps.Active() != 0 {
+			t.Fatalf("trial %d: %d jobs still active", trial, ps.Active())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		e := New(42)
+		var log []string
+		q := NewQueue[int](e, 4)
+		ps := NewPS(e, 2, 1000)
+		for i := 0; i < 8; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("prod%d", i), func(p *Proc) {
+				p.Sleep(Time(e.Rand().Int63n(int64(Millisecond))))
+				q.Put(p, i)
+			})
+		}
+		for w := 0; w < 2; w++ {
+			w := w
+			e.Spawn(fmt.Sprintf("worker%d", w), func(p *Proc) {
+				for j := 0; j < 4; j++ {
+					v := q.Get(p)
+					ps.Serve(p, float64(10+v))
+					log = append(log, fmt.Sprintf("%d:%d@%v", w, v, p.Now()))
+				}
+			})
+		}
+		e.Run(0)
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

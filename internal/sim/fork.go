@@ -1,0 +1,17 @@
+package sim
+
+// Fork starts several asynchronous operations and blocks the calling process
+// until every one has signalled completion. Each start function receives a
+// done callback it must invoke exactly once.
+//
+// Fork models overlapped resource usage: for example, a socket send consumes
+// CPU cycles while the NIC clocks the same bytes onto the wire, so the
+// elapsed time is the maximum of the two contended service times, not their
+// sum.
+func Fork(p *Proc, starts ...func(done func())) {
+	wg := p.eng.NewWaitGroup(len(starts))
+	for _, s := range starts {
+		s(wg.Done)
+	}
+	wg.Wait(p)
+}

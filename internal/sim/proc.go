@@ -1,0 +1,203 @@
+package sim
+
+import "fmt"
+
+// ProcState describes the lifecycle of a simulated process.
+type ProcState int
+
+// Process lifecycle states.
+const (
+	StateCreated ProcState = iota
+	StateRunning
+	StateSleeping
+	StateSuspended
+	StateDead
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case StateCreated:
+		return "created"
+	case StateRunning:
+		return "running"
+	case StateSleeping:
+		return "sleeping"
+	case StateSuspended:
+		return "suspended"
+	case StateDead:
+		return "dead"
+	}
+	return "invalid"
+}
+
+// Proc is a simulated process: a goroutine interleaved with the engine under
+// the single-runnable invariant. All Proc methods must be called from the
+// process's own goroutine, except as documented.
+type Proc struct {
+	eng     *Engine
+	name    string
+	resume  chan struct{}
+	state   ProcState
+	joiners []*Proc
+	wake    *Timer // pending sleep timer
+	daemon  bool
+}
+
+// Spawn creates a process running fn. The process starts at the current
+// virtual time, after already-scheduled events for this instant. Spawn may be
+// called before Run or from any running simulation context.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, false)
+}
+
+// SpawnDaemon creates a process like Spawn, but a blocked daemon does not
+// count as a deadlock when the event queue drains — use it for server loops
+// such as worker pools that park waiting for work that may never come.
+func (e *Engine) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{}), state: StateCreated, daemon: daemon}
+	if !daemon {
+		e.nlive++
+	}
+	e.At(0, func() {
+		go func() {
+			<-p.resume
+			p.state = StateRunning
+			fn(p)
+			p.die()
+		}()
+		// Hand the token to the new goroutine and wait for it to park.
+		p.resume <- struct{}{}
+		<-e.parked
+	})
+	return p
+}
+
+// die marks the process dead, wakes joiners, and returns the run token to
+// the engine. Runs on the process goroutine as its final act.
+func (p *Proc) die() {
+	p.state = StateDead
+	if !p.daemon {
+		p.eng.nlive--
+	}
+	for _, j := range p.joiners {
+		p.eng.ready(j)
+	}
+	p.joiners = nil
+	p.eng.parked <- struct{}{}
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// State returns the current lifecycle state.
+func (p *Proc) State() ProcState { return p.state }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// park transfers control back to the engine and blocks until resumed.
+func (p *Proc) park() {
+	p.eng.parked <- struct{}{}
+	<-p.resume
+	p.state = StateRunning
+}
+
+// transfer wakes process p. Must be called while holding the run token
+// inside an engine event callback.
+func (e *Engine) transfer(p *Proc) {
+	if p.state == StateDead {
+		panic(fmt.Sprintf("sim: waking dead process %q", p.name))
+	}
+	p.resume <- struct{}{}
+	<-e.parked
+}
+
+// ready schedules p to be resumed at the current virtual time.
+func (e *Engine) ready(p *Proc) {
+	e.At(0, func() { e.transfer(p) })
+}
+
+// Sleep blocks the process for d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	p.state = StateSleeping
+	p.wake = p.eng.At(d, func() { p.eng.transfer(p) })
+	p.park()
+	p.wake = nil
+}
+
+// Suspend blocks the process until another context calls Ready on it. Use it
+// to build condition-style synchronization.
+func (p *Proc) Suspend() {
+	p.state = StateSuspended
+	p.park()
+}
+
+// Ready schedules a suspended process to resume at the current virtual time.
+// It panics if the process is not suspended, which almost always indicates a
+// lost-wakeup or double-wakeup bug in the model.
+func (e *Engine) Ready(p *Proc) {
+	if p.state != StateSuspended {
+		panic(fmt.Sprintf("sim: Ready(%q) in state %v", p.name, p.state))
+	}
+	p.state = StateSleeping // wakeup in flight
+	e.ready(p)
+}
+
+// Join blocks until other has terminated. Returns immediately if it already
+// has.
+func (p *Proc) Join(other *Proc) {
+	if other.state == StateDead {
+		return
+	}
+	other.joiners = append(other.joiners, p)
+	p.Suspend()
+}
+
+// WaitGroup blocks a process until a counted number of completions arrive.
+type WaitGroup struct {
+	eng     *Engine
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns a WaitGroup expecting count Done calls.
+func (e *Engine) NewWaitGroup(count int) *WaitGroup {
+	return &WaitGroup{eng: e, count: count}
+}
+
+// Add increases the expected completion count by n.
+func (w *WaitGroup) Add(n int) { w.count += n }
+
+// Done records one completion and wakes waiters when the count reaches zero.
+// Callable from any running simulation context.
+func (w *WaitGroup) Done() {
+	w.count--
+	if w.count < 0 {
+		panic("sim: WaitGroup count below zero")
+	}
+	if w.count == 0 {
+		for _, p := range w.waiters {
+			w.eng.Ready(p)
+		}
+		w.waiters = nil
+	}
+}
+
+// Wait blocks the process until the count reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.count == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.Suspend()
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// PS is an egalitarian processor-sharing server with a configurable number
+// of parallel servers and an efficiency curve.
+//
+// A PS with servers=1 models a shared network link: k concurrent transfers
+// each progress at rate/k. A PS with servers=C models a C-core CPU under a
+// time-slicing scheduler: k <= C jobs each run at full rate, k > C jobs each
+// get C/k of a core. The efficiency curve eff(k) scales the total delivered
+// rate and is how resource contention on the BG/P I/O node (memory-bandwidth
+// pressure and context-switch overhead, the bottleneck identified in
+// Section III of the paper) enters the model.
+//
+// Implementation: attained-service. Because sharing is egalitarian, every
+// active job accrues service at the same instantaneous rate, so a single
+// accumulator advances all jobs at once and each completion is an O(k) scan.
+type PS struct {
+	eng     *Engine
+	servers int
+	rate    float64 // work units per second per server
+	eff     func(k int) float64
+
+	jobs       []*psJob
+	attained   float64 // cumulative per-job service since engine start
+	lastUpdate Time
+	timer      *Timer
+
+	totalWork float64 // total work units delivered, for utilization stats
+	busy      Time    // total time with at least one active job
+}
+
+type psJob struct {
+	target float64 // attained value at which this job completes
+	proc   *Proc   // blocked process to wake, or nil
+	done   func()  // completion callback when proc is nil
+}
+
+// NewPS returns a processor-sharing server with the given number of parallel
+// servers, each delivering ratePerServer work units per second.
+func NewPS(e *Engine, servers int, ratePerServer float64) *PS {
+	if servers <= 0 || ratePerServer <= 0 {
+		panic(fmt.Sprintf("sim: invalid PS servers=%d rate=%g", servers, ratePerServer))
+	}
+	return &PS{eng: e, servers: servers, rate: ratePerServer, lastUpdate: e.Now()}
+}
+
+// SetEfficiency installs the total-rate multiplier as a function of the
+// number of concurrently active jobs. eff must return a value in (0, 1] for
+// every k >= 1. A nil function means perfect efficiency.
+func (s *PS) SetEfficiency(fn func(k int) float64) { s.eff = fn }
+
+// Active returns the number of jobs currently in service.
+func (s *PS) Active() int { return len(s.jobs) }
+
+// TotalWork returns the cumulative work units delivered so far.
+func (s *PS) TotalWork() float64 {
+	s.update()
+	return s.totalWork
+}
+
+// BusyTime returns the cumulative virtual time during which the server had
+// at least one active job.
+func (s *PS) BusyTime() Time {
+	s.update()
+	return s.busy
+}
+
+// perJobRate returns the instantaneous service rate each of k jobs receives.
+func (s *PS) perJobRate(k int) float64 {
+	if k == 0 {
+		return 0
+	}
+	total := s.rate * float64(min(k, s.servers))
+	if s.eff != nil {
+		f := s.eff(k)
+		if f <= 0 || f > 1 {
+			panic(fmt.Sprintf("sim: PS efficiency %g for k=%d outside (0,1]", f, k))
+		}
+		total *= f
+	}
+	return total / float64(k)
+}
+
+// Serve blocks the calling process until demand work units have been
+// delivered to it under processor sharing. Zero or negative demand returns
+// immediately.
+func (s *PS) Serve(p *Proc, demand float64) {
+	if demand <= 0 {
+		return
+	}
+	s.update()
+	s.jobs = append(s.jobs, &psJob{target: s.attained + demand, proc: p})
+	s.reschedule()
+	p.Suspend()
+}
+
+// ServeAsync submits a job and invokes done when it completes, without
+// blocking the caller. A zero demand invokes done immediately in the
+// caller's context. Use with WaitGroup to model overlapped resources, e.g. a
+// socket send that consumes CPU while the NIC clocks bytes onto the wire.
+func (s *PS) ServeAsync(demand float64, done func()) {
+	if demand <= 0 {
+		done()
+		return
+	}
+	s.update()
+	s.jobs = append(s.jobs, &psJob{target: s.attained + demand, done: done})
+	s.reschedule()
+}
+
+// update advances the attained-service accumulator to the current time.
+func (s *PS) update() {
+	now := s.eng.Now()
+	dt := now - s.lastUpdate
+	if dt <= 0 {
+		return
+	}
+	s.lastUpdate = now
+	k := len(s.jobs)
+	if k == 0 {
+		return
+	}
+	r := s.perJobRate(k)
+	s.attained += r * dt.Seconds()
+	s.totalWork += r * dt.Seconds() * float64(k)
+	s.busy += dt
+}
+
+// reschedule arms the timer for the earliest pending completion.
+func (s *PS) reschedule() {
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	if len(s.jobs) == 0 {
+		return
+	}
+	minTarget := s.jobs[0].target
+	for _, j := range s.jobs[1:] {
+		if j.target < minTarget {
+			minTarget = j.target
+		}
+	}
+	r := s.perJobRate(len(s.jobs))
+	dtSec := (minTarget - s.attained) / r
+	if dtSec < 0 {
+		dtSec = 0
+	}
+	// Round up to the next nanosecond so the timer never fires before the
+	// completion point in exact arithmetic.
+	d := Time(math.Ceil(dtSec * float64(Second)))
+	s.timer = s.eng.At(d, s.fire)
+}
+
+// fire completes every job whose target has been reached and re-arms.
+func (s *PS) fire() {
+	s.timer = nil
+	s.update()
+	// Relative tolerance absorbs the float error introduced by the
+	// nanosecond rounding of completion times.
+	const relEps = 1e-9
+	var remaining []*psJob
+	completed := make([]*psJob, 0, 1)
+	for _, j := range s.jobs {
+		if j.target <= s.attained+relEps*math.Abs(j.target)+1e-12 {
+			completed = append(completed, j)
+		} else {
+			remaining = append(remaining, j)
+		}
+	}
+	s.jobs = remaining
+	for _, j := range completed {
+		if j.proc != nil {
+			s.eng.Ready(j.proc)
+		} else {
+			j.done()
+		}
+	}
+	s.reschedule()
+}

@@ -1,0 +1,72 @@
+package sim
+
+import "fmt"
+
+// Resource is a counted semaphore with FIFO admission, used for bounded
+// pools such as the staging buffer memory cap (paper Section IV: "If there
+// is insufficient memory to stage the data, the I/O operation is blocked
+// until a number of queued I/O operations complete").
+type Resource struct {
+	eng      *Engine
+	capacity int64
+	avail    int64
+	waiters  []resWaiter
+}
+
+type resWaiter struct {
+	p *Proc
+	n int64
+}
+
+// NewResource returns a Resource with the given capacity, fully available.
+func NewResource(e *Engine, capacity int64) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource capacity %d", capacity))
+	}
+	return &Resource{eng: e, capacity: capacity, avail: capacity}
+}
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int64 { return r.capacity }
+
+// Available returns the currently unclaimed capacity.
+func (r *Resource) Available() int64 { return r.avail }
+
+// Acquire claims n units, blocking the process until they are available.
+// Requests are admitted strictly in FIFO order, so a large request cannot be
+// starved by a stream of small ones.
+func (r *Resource) Acquire(p *Proc, n int64) {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("sim: acquire %d of capacity %d", n, r.capacity))
+	}
+	if len(r.waiters) == 0 && r.avail >= n {
+		r.avail -= n
+		return
+	}
+	r.waiters = append(r.waiters, resWaiter{p, n})
+	p.Suspend()
+	// Woken by Release once our claim has been deducted.
+}
+
+// TryAcquire claims n units without blocking; it reports success.
+func (r *Resource) TryAcquire(n int64) bool {
+	if len(r.waiters) > 0 || r.avail < n {
+		return false
+	}
+	r.avail -= n
+	return true
+}
+
+// Release returns n units and admits queued waiters in FIFO order.
+func (r *Resource) Release(n int64) {
+	r.avail += n
+	if r.avail > r.capacity {
+		panic(fmt.Sprintf("sim: release overflows capacity: %d > %d", r.avail, r.capacity))
+	}
+	for len(r.waiters) > 0 && r.avail >= r.waiters[0].n {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.avail -= w.n
+		r.eng.Ready(w.p)
+	}
+}

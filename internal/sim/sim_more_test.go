@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestPSAsyncMatchesSync: ServeAsync and Serve deliver identical timing for
+// identical demands.
+func TestPSAsyncMatchesSync(t *testing.T) {
+	syncEnd := func() Time {
+		e := New(1)
+		ps := NewPS(e, 2, 100)
+		for i := 0; i < 3; i++ {
+			e.Spawn(fmt.Sprintf("j%d", i), func(p *Proc) { ps.Serve(p, 50) })
+		}
+		return e.Run(0)
+	}()
+	asyncEnd := func() Time {
+		e := New(1)
+		ps := NewPS(e, 2, 100)
+		e.Spawn("submitter", func(p *Proc) {
+			wg := e.NewWaitGroup(3)
+			for i := 0; i < 3; i++ {
+				ps.ServeAsync(50, wg.Done)
+			}
+			wg.Wait(p)
+		})
+		return e.Run(0)
+	}()
+	if syncEnd != asyncEnd {
+		t.Fatalf("sync %v vs async %v", syncEnd, asyncEnd)
+	}
+}
+
+// TestForkWaitsForAll: the fork-join helper returns at the maximum of its
+// branches, which is how overlapped resource usage is modelled everywhere.
+func TestForkWaitsForAll(t *testing.T) {
+	e := New(1)
+	var done Time
+	e.Spawn("f", func(p *Proc) {
+		Fork(p,
+			func(d func()) { e.At(1*Second, d) },
+			func(d func()) { e.At(3*Second, d) },
+			func(d func()) { d() }, // immediate completion
+		)
+		done = p.Now()
+	})
+	e.Run(0)
+	if done != 3*Second {
+		t.Fatalf("fork joined at %v, want 3s", done)
+	}
+}
+
+// TestPSLongRunPrecision: many sequential jobs must not accumulate drift
+// beyond a relative tolerance, exercising the attained-service arithmetic.
+func TestPSLongRunPrecision(t *testing.T) {
+	e := New(1)
+	ps := NewPS(e, 1, 1e9) // a fast link
+	const jobs = 5000
+	e.Spawn("j", func(p *Proc) {
+		for i := 0; i < jobs; i++ {
+			ps.Serve(p, 1e5) // 100us each
+		}
+	})
+	end := e.Run(0)
+	want := Seconds(jobs * 1e5 / 1e9)
+	drift := math.Abs(float64(end-want)) / float64(want)
+	if drift > 1e-6 {
+		t.Fatalf("relative drift %.2e after %d jobs (end %v, want %v)", drift, jobs, end, want)
+	}
+}
+
+// TestQueuePreservesAllItems: no item is lost or duplicated under many
+// producers and consumers with random interleavings.
+func TestQueuePreservesAllItems(t *testing.T) {
+	for trial := int64(0); trial < 10; trial++ {
+		e := New(trial)
+		q := NewQueue[int](e, 3)
+		const producers, perProducer = 5, 20
+		seen := make(map[int]int)
+		for pr := 0; pr < producers; pr++ {
+			pr := pr
+			e.Spawn(fmt.Sprintf("p%d", pr), func(p *Proc) {
+				for i := 0; i < perProducer; i++ {
+					p.Sleep(Time(e.Rand().Int63n(int64(Millisecond))))
+					q.Put(p, pr*1000+i)
+				}
+			})
+		}
+		// Two consumers split the exact item count between them.
+		for co := 0; co < 2; co++ {
+			e.Spawn(fmt.Sprintf("c%d", co), func(p *Proc) {
+				for i := 0; i < producers*perProducer/2; i++ {
+					seen[q.Get(p)]++
+				}
+			})
+		}
+		e.Run(0)
+		if len(seen) != producers*perProducer {
+			t.Fatalf("trial %d: %d distinct items, want %d", trial, len(seen), producers*perProducer)
+		}
+		for k, n := range seen {
+			if n != 1 {
+				t.Fatalf("trial %d: item %d delivered %d times", trial, k, n)
+			}
+		}
+	}
+}
+
+// TestTimeStringFormats pins the human-readable trace formatting.
+func TestTimeStringFormats(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2500 * Microsecond, "2.500ms"},
+		{3 * Second, "3.000000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d -> %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+// TestSecondsRoundTrip is the Time conversion property.
+func TestSecondsRoundTrip(t *testing.T) {
+	prop := func(ms uint16) bool {
+		d := Seconds(float64(ms) / 1000)
+		return math.Abs(d.Seconds()-float64(ms)/1000) < 2e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTracef exercises the trace hook.
+func TestTracef(t *testing.T) {
+	e := New(1)
+	var lines []string
+	e.SetTrace(func(at Time, format string, args ...any) {
+		lines = append(lines, fmt.Sprintf("%v: ", at)+fmt.Sprintf(format, args...))
+	})
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(Second)
+		e.Tracef("woke %s", p.Name())
+	})
+	e.Run(0)
+	if len(lines) != 1 || lines[0] != "1.000000s: woke p" {
+		t.Fatalf("trace lines %q", lines)
+	}
+	e.SetTrace(nil)
+	e.Tracef("dropped") // must not panic
+}
+
+// TestSpawnDaemonNoDeadlockPanic: blocked daemons do not trip the deadlock
+// detector.
+func TestSpawnDaemonNoDeadlockPanic(t *testing.T) {
+	e := New(1)
+	q := NewQueue[int](e, 0)
+	e.SpawnDaemon("server", func(p *Proc) {
+		for {
+			_ = q.Get(p)
+		}
+	})
+	e.Spawn("client", func(p *Proc) {
+		q.Put(p, 1)
+		p.Sleep(Second)
+	})
+	if end := e.Run(0); end != Second {
+		t.Fatalf("end %v", end)
+	}
+}
+
+// TestReadyPanicsOnRunningProc: waking a process that is not suspended is a
+// model bug and must be loud.
+func TestReadyPanicsOnRunningProc(t *testing.T) {
+	e := New(1)
+	p1 := e.Spawn("a", func(p *Proc) { p.Sleep(Second) })
+	e.Spawn("b", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Ready on sleeping proc did not panic")
+			}
+		}()
+		e.Ready(p1) // p1 is sleeping, not suspended
+	})
+	e.Run(0)
+}

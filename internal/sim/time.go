@@ -1,0 +1,44 @@
+// Package sim implements a deterministic discrete-event simulation engine
+// with coroutine-style processes, in the spirit of SimPy.
+//
+// The engine maintains a virtual clock and an ordered event queue. Simulated
+// processes run as goroutines, but the engine enforces a strict
+// single-runnable invariant: at any instant either the engine loop or exactly
+// one process goroutine is executing. Combined with a stable (time, sequence)
+// event ordering and a seeded random source, every run of a simulation is
+// bit-for-bit reproducible.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds. It is also used for
+// durations, mirroring time.Duration.
+type Time int64
+
+// Duration units in virtual time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds converts a float64 number of seconds into a virtual Time.
+func Seconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Seconds returns t expressed in float64 seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with adaptive units for traces and errors.
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", float64(t)/float64(Second))
+	}
+}

@@ -1,0 +1,99 @@
+// Package simcpu models a multicore CPU under a time-slicing scheduler with
+// resource contention.
+//
+// This is the component that reproduces the central observation of the paper
+// (Section III): the BG/P I/O node is a 4-core 850 MHz PowerPC 450, and with
+// one forwarding thread or process per compute node, 64 concurrent tasks
+// contend for those cores. Throughput rises with a few tasks (more
+// parallelism drives the NIC) and then falls (context-switch and
+// memory-bandwidth overhead), peaking around 4 tasks — Figures 4, 5 and 11.
+//
+// The CPU is a processor-sharing server over "core-seconds": a task
+// demanding d core-seconds completes after d wall-clock seconds when running
+// alone on a core. Contention enters through an efficiency curve applied to
+// the total delivered rate.
+package simcpu
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ContentionCurve returns the fraction of aggregate CPU capacity actually
+// delivered when k tasks are runnable on a cores-core CPU:
+//
+//	eff(k) = 1 / (1 + share*(min(k,cores)-1) + swtch*max(0, k-cores))
+//
+// share models per-additional-runnable-task degradation from shared memory
+// bandwidth, cache pressure, and kernel locking while k <= cores; swtch adds
+// the context-switch tax once tasks oversubscribe the cores. Both are
+// dimensionless per-task coefficients fitted to Section III of the paper
+// (see internal/bgp/params.go for the calibration).
+func ContentionCurve(cores int, share, swtch float64) func(k int) float64 {
+	if cores <= 0 || share < 0 || swtch < 0 {
+		panic(fmt.Sprintf("simcpu: invalid curve cores=%d share=%g swtch=%g", cores, share, swtch))
+	}
+	return func(k int) float64 {
+		if k <= 1 {
+			return 1
+		}
+		inCore := k
+		if inCore > cores {
+			inCore = cores
+		}
+		return 1 / (1 + share*float64(inCore-1) + swtch*float64(max(0, k-cores)))
+	}
+}
+
+// CPU is a multicore processor-sharing CPU.
+type CPU struct {
+	name  string
+	cores int
+	ps    *sim.PS
+}
+
+// Config describes a CPU.
+type Config struct {
+	Name  string
+	Cores int
+	// Share and Switch are the ContentionCurve coefficients. Zero values
+	// give a perfectly scaling CPU.
+	Share  float64
+	Switch float64
+}
+
+// New returns a CPU with the given core count and contention coefficients.
+// Demands are expressed in core-seconds, so the per-core rate is 1.
+func New(e *sim.Engine, cfg Config) *CPU {
+	if cfg.Cores <= 0 {
+		panic(fmt.Sprintf("simcpu: %d cores", cfg.Cores))
+	}
+	ps := sim.NewPS(e, cfg.Cores, 1.0)
+	if cfg.Share != 0 || cfg.Switch != 0 {
+		ps.SetEfficiency(ContentionCurve(cfg.Cores, cfg.Share, cfg.Switch))
+	}
+	return &CPU{name: cfg.Name, cores: cfg.Cores, ps: ps}
+}
+
+// Name returns the CPU name.
+func (c *CPU) Name() string { return c.name }
+
+// Cores returns the core count.
+func (c *CPU) Cores() int { return c.cores }
+
+// Compute blocks the process for coreSeconds of CPU demand under contention.
+func (c *CPU) Compute(p *sim.Proc, coreSeconds float64) { c.ps.Serve(p, coreSeconds) }
+
+// ComputeAsync submits CPU demand and calls done on completion without
+// blocking, for overlapping CPU work with wire time.
+func (c *CPU) ComputeAsync(coreSeconds float64, done func()) { c.ps.ServeAsync(coreSeconds, done) }
+
+// Runnable returns the number of tasks currently in service.
+func (c *CPU) Runnable() int { return c.ps.Active() }
+
+// BusyTime returns cumulative non-idle time.
+func (c *CPU) BusyTime() sim.Time { return c.ps.BusyTime() }
+
+// CoreSecondsDelivered returns total CPU work delivered.
+func (c *CPU) CoreSecondsDelivered() float64 { return c.ps.TotalWork() }

@@ -1,0 +1,114 @@
+package simcpu
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestContentionCurveShape(t *testing.T) {
+	eff := ContentionCurve(4, 0.2, 0.02)
+	if eff(1) != 1 {
+		t.Fatalf("eff(1) = %v, want 1", eff(1))
+	}
+	prev := eff(1)
+	for k := 2; k <= 64; k++ {
+		cur := eff(k)
+		if cur >= prev {
+			t.Fatalf("eff not strictly decreasing at k=%d: %v >= %v", k, cur, prev)
+		}
+		if cur <= 0 || cur > 1 {
+			t.Fatalf("eff(%d) = %v outside (0,1]", k, cur)
+		}
+		prev = cur
+	}
+	// Beyond the core count the switch term kicks in: the drop from k=4 to
+	// k=8 must exceed the pure-share prediction.
+	if eff(8) >= eff(4) {
+		t.Fatal("no oversubscription penalty")
+	}
+}
+
+// TestAggregateThroughputPeaksNearCoreCount reproduces the qualitative shape
+// of paper Figure 5/11: total delivered rate rises up to the core count and
+// declines under oversubscription.
+func TestAggregateThroughputPeaksNearCoreCount(t *testing.T) {
+	totalRate := func(k int) float64 {
+		eff := ContentionCurve(4, 0.19, 0.02)
+		return float64(min(k, 4)) * eff(k)
+	}
+	if !(totalRate(2) > totalRate(1)) || !(totalRate(4) > totalRate(2)) {
+		t.Fatal("no rise toward core count")
+	}
+	if !(totalRate(8) < totalRate(4)) {
+		t.Fatal("no decline past core count")
+	}
+	if !(totalRate(64) < totalRate(8)) {
+		t.Fatal("no further decline at heavy oversubscription")
+	}
+}
+
+func TestCPUSingleTask(t *testing.T) {
+	e := sim.New(1)
+	c := New(e, Config{Name: "ion", Cores: 4})
+	var done sim.Time
+	e.Spawn("t", func(p *sim.Proc) {
+		c.Compute(p, 0.25)
+		done = p.Now()
+	})
+	e.Run(0)
+	if math.Abs(done.Seconds()-0.25) > 1e-9 {
+		t.Fatalf("done at %v, want 0.25s", done)
+	}
+}
+
+func TestCPUOversubscription(t *testing.T) {
+	e := sim.New(1)
+	c := New(e, Config{Name: "ion", Cores: 2})
+	var done [4]sim.Time
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("t%d", i), func(p *sim.Proc) {
+			c.Compute(p, 1)
+			done[i] = p.Now()
+		})
+	}
+	e.Run(0)
+	// 4 core-seconds of demand on 2 perfect cores takes 2 seconds.
+	for i, d := range done {
+		if math.Abs(d.Seconds()-2.0) > 1e-6 {
+			t.Fatalf("task %d done at %v, want 2s", i, d)
+		}
+	}
+}
+
+func TestCPUContentionSlowsCompletion(t *testing.T) {
+	run := func(share float64) sim.Time {
+		e := sim.New(1)
+		c := New(e, Config{Name: "ion", Cores: 4, Share: share})
+		for i := 0; i < 4; i++ {
+			e.Spawn(fmt.Sprintf("t%d", i), func(p *sim.Proc) { c.Compute(p, 1) })
+		}
+		return e.Run(0)
+	}
+	perfect := run(0)
+	contended := run(0.2)
+	if contended <= perfect {
+		t.Fatalf("contention did not slow completion: %v <= %v", contended, perfect)
+	}
+	// eff(4) = 1/(1+0.2*3) = 0.625, so 1s of perfect time becomes 1.6s.
+	if math.Abs(contended.Seconds()-1.6) > 1e-6 {
+		t.Fatalf("contended makespan %v, want 1.6s", contended)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero cores")
+		}
+	}()
+	New(sim.New(1), Config{Cores: 0})
+}

@@ -1,0 +1,122 @@
+// Package simnet provides network models for the discrete-event simulator:
+// fair-shared links with framing overhead and propagation latency.
+//
+// A Link is an egalitarian fair-share pipe: k concurrent transfers each
+// progress at bandwidth/k, matching the behaviour of both the BG/P
+// collective (tree) network uplink and a TCP-fair 10 GbE port under many
+// streams. Framing charges per-packet header overhead, which is how the
+// collective network's 256-byte payload / 26-byte header tax (paper
+// Section III-A: raw 850 MB/s, packetized peak about 731 MiB/s) enters the
+// model.
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Framing describes fixed per-packet overhead on a link.
+type Framing struct {
+	// PayloadBytes is the maximum payload carried per packet.
+	PayloadBytes int64
+	// OverheadBytes is transmitted per packet in addition to payload.
+	OverheadBytes int64
+}
+
+// WireBytes returns the number of bytes actually clocked onto the wire to
+// carry n payload bytes, including per-packet overhead. A zero Framing
+// returns n unchanged.
+func (f Framing) WireBytes(n int64) int64 {
+	if f.PayloadBytes <= 0 || f.OverheadBytes <= 0 {
+		return n
+	}
+	packets := (n + f.PayloadBytes - 1) / f.PayloadBytes
+	return n + packets*f.OverheadBytes
+}
+
+// Efficiency returns the fraction of wire bandwidth available to payload for
+// maximum-size packets.
+func (f Framing) Efficiency() float64 {
+	if f.PayloadBytes <= 0 || f.OverheadBytes <= 0 {
+		return 1
+	}
+	return float64(f.PayloadBytes) / float64(f.PayloadBytes+f.OverheadBytes)
+}
+
+// Link is a shared network link with fair bandwidth sharing, optional
+// framing overhead, and a fixed per-transfer latency.
+type Link struct {
+	name    string
+	ps      *sim.PS
+	frame   Framing
+	latency sim.Time
+	rate    float64
+}
+
+// NewLink returns a link delivering bandwidth bytes per second of wire
+// capacity, shared fairly among concurrent transfers.
+func NewLink(e *sim.Engine, name string, bandwidth float64) *Link {
+	if bandwidth <= 0 {
+		panic(fmt.Sprintf("simnet: bandwidth %g for link %q", bandwidth, name))
+	}
+	return &Link{name: name, ps: sim.NewPS(e, 1, bandwidth), rate: bandwidth}
+}
+
+// SetFraming installs per-packet overhead accounting.
+func (l *Link) SetFraming(f Framing) { l.frame = f }
+
+// SetEfficiency installs a delivered-bandwidth multiplier as a function of
+// the number of concurrent transfers, modelling fan-in arbitration and
+// flow-control overhead on heavily multiplexed links. eff must return a
+// value in (0, 1].
+func (l *Link) SetEfficiency(fn func(k int) float64) { l.ps.SetEfficiency(fn) }
+
+// SetLatency installs a fixed per-transfer propagation/processing latency,
+// charged after the bytes have been clocked out.
+func (l *Link) SetLatency(d sim.Time) { l.latency = d }
+
+// Name returns the link name.
+func (l *Link) Name() string { return l.name }
+
+// Bandwidth returns the raw wire bandwidth in bytes per second.
+func (l *Link) Bandwidth() float64 { return l.rate }
+
+// PayloadBandwidth returns the maximum payload rate after framing overhead.
+func (l *Link) PayloadBandwidth() float64 { return l.rate * l.frame.Efficiency() }
+
+// Transfer moves bytes of payload across the link, blocking the calling
+// process for the fair-shared transmission time plus latency.
+func (l *Link) Transfer(p *sim.Proc, bytes int64) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("simnet: negative transfer %d on %q", bytes, l.name))
+	}
+	l.ps.Serve(p, float64(l.frame.WireBytes(bytes)))
+	if l.latency > 0 {
+		p.Sleep(l.latency)
+	}
+}
+
+// TransferAsync starts a transfer and calls done when the bytes have been
+// delivered, without blocking the caller. Latency is included.
+func (l *Link) TransferAsync(e *sim.Engine, bytes int64, done func()) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("simnet: negative transfer %d on %q", bytes, l.name))
+	}
+	l.ps.ServeAsync(float64(l.frame.WireBytes(bytes)), func() {
+		if l.latency > 0 {
+			e.At(l.latency, done)
+		} else {
+			done()
+		}
+	})
+}
+
+// Active returns the number of in-flight transfers.
+func (l *Link) Active() int { return l.ps.Active() }
+
+// BytesMoved returns cumulative wire bytes delivered.
+func (l *Link) BytesMoved() float64 { return l.ps.TotalWork() }
+
+// BusyTime returns cumulative time the link was non-idle.
+func (l *Link) BusyTime() sim.Time { return l.ps.BusyTime() }

@@ -1,0 +1,155 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestFramingWireBytes(t *testing.T) {
+	f := Framing{PayloadBytes: 256, OverheadBytes: 26}
+	cases := []struct{ in, want int64 }{
+		{0, 0},
+		{1, 1 + 26},
+		{256, 256 + 26},
+		{257, 257 + 52},
+		{1024, 1024 + 4*26},
+	}
+	for _, c := range cases {
+		if got := f.WireBytes(c.in); got != c.want {
+			t.Errorf("WireBytes(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if zero := (Framing{}).WireBytes(1000); zero != 1000 {
+		t.Errorf("zero framing WireBytes = %d", zero)
+	}
+}
+
+func TestFramingEfficiencyMatchesPaper(t *testing.T) {
+	// Paper III-A: 256-byte payload carries 16 bytes of forwarding header
+	// plus 10 bytes of hardware header; raw 850 MB/s gives a packetized
+	// peak of about 731 MiB/s, i.e. ~90% efficiency.
+	f := Framing{PayloadBytes: 256, OverheadBytes: 26}
+	eff := f.Efficiency()
+	if math.Abs(eff-256.0/282.0) > 1e-12 {
+		t.Fatalf("efficiency = %v", eff)
+	}
+	peak := 850e6 * eff / (1 << 20) // MiB/s
+	if peak < 720 || peak < 0 || peak > 740 {
+		t.Fatalf("packetized peak %.1f MiB/s, want ~731", peak)
+	}
+}
+
+func TestFramingWireBytesProperty(t *testing.T) {
+	f := Framing{PayloadBytes: 256, OverheadBytes: 26}
+	prop := func(n uint32) bool {
+		w := f.WireBytes(int64(n))
+		// Wire bytes dominate payload and overhead is bounded by one
+		// header per payload chunk plus one trailer chunk.
+		return w >= int64(n) && w <= int64(n)+(int64(n)/256+1)*26
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkSingleTransferTime(t *testing.T) {
+	e := sim.New(1)
+	l := NewLink(e, "test", 100) // 100 B/s
+	var done sim.Time
+	e.Spawn("t", func(p *sim.Proc) {
+		l.Transfer(p, 50)
+		done = p.Now()
+	})
+	e.Run(0)
+	if math.Abs(done.Seconds()-0.5) > 1e-9 {
+		t.Fatalf("transfer done at %v, want 0.5s", done)
+	}
+}
+
+func TestLinkFairSharing(t *testing.T) {
+	e := sim.New(1)
+	l := NewLink(e, "shared", 100)
+	var done [4]sim.Time
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("t%d", i), func(p *sim.Proc) {
+			l.Transfer(p, 25)
+			done[i] = p.Now()
+		})
+	}
+	e.Run(0)
+	for i, d := range done {
+		if math.Abs(d.Seconds()-1.0) > 1e-6 {
+			t.Fatalf("transfer %d done at %v, want 1s (4x25B at 100B/s shared)", i, d)
+		}
+	}
+}
+
+func TestLinkLatencyAdds(t *testing.T) {
+	e := sim.New(1)
+	l := NewLink(e, "lat", 1000)
+	l.SetLatency(10 * sim.Millisecond)
+	var done sim.Time
+	e.Spawn("t", func(p *sim.Proc) {
+		l.Transfer(p, 1000)
+		done = p.Now()
+	})
+	e.Run(0)
+	want := sim.Second + 10*sim.Millisecond
+	if done != want {
+		t.Fatalf("done at %v, want %v", done, want)
+	}
+}
+
+func TestLinkFramingSlowsTransfer(t *testing.T) {
+	e := sim.New(1)
+	l := NewLink(e, "framed", 282)
+	l.SetFraming(Framing{PayloadBytes: 256, OverheadBytes: 26})
+	var done sim.Time
+	e.Spawn("t", func(p *sim.Proc) {
+		l.Transfer(p, 256) // 282 wire bytes at 282 B/s = 1s
+		done = p.Now()
+	})
+	e.Run(0)
+	if math.Abs(done.Seconds()-1.0) > 1e-9 {
+		t.Fatalf("done at %v, want 1s", done)
+	}
+}
+
+func TestLinkTransferAsyncOverlap(t *testing.T) {
+	e := sim.New(1)
+	l := NewLink(e, "async", 100)
+	var doneAt sim.Time
+	e.Spawn("t", func(p *sim.Proc) {
+		wg := e.NewWaitGroup(2)
+		l.TransferAsync(e, 100, wg.Done) // 1s of wire time
+		l.TransferAsync(e, 100, wg.Done) // shares the link: both take 2s
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	e.Run(0)
+	if math.Abs(doneAt.Seconds()-2.0) > 1e-6 {
+		t.Fatalf("async transfers done at %v, want 2s", doneAt)
+	}
+}
+
+func TestLinkAccounting(t *testing.T) {
+	e := sim.New(1)
+	l := NewLink(e, "acct", 1000)
+	e.Spawn("t", func(p *sim.Proc) {
+		l.Transfer(p, 500)
+		p.Sleep(sim.Second)
+		l.Transfer(p, 500)
+	})
+	e.Run(0)
+	if math.Abs(l.BytesMoved()-1000) > 1e-6 {
+		t.Fatalf("moved %g bytes, want 1000", l.BytesMoved())
+	}
+	if math.Abs(l.BusyTime().Seconds()-1.0) > 1e-6 {
+		t.Fatalf("busy %v, want 1s", l.BusyTime())
+	}
+}

@@ -1,0 +1,126 @@
+// Package stats holds small series/table utilities used by the experiment
+// runners and benchmark harness to print paper-style figures as text tables.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one named curve: y values indexed like the table's x column.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Table is a printable experiment result: one x column and several series.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []string
+	Series []Series
+	Notes  []string
+}
+
+// Add appends a named series; missing points may be NaN-padded by the
+// caller.
+func (t *Table) Add(name string, y []float64) {
+	t.Series = append(t.Series, Series{Name: name, Y: y})
+}
+
+// Get returns the series with the given name, or nil.
+func (t *Table) Get(name string) *Series {
+	for i := range t.Series {
+		if t.Series[i].Name == name {
+			return &t.Series[i]
+		}
+	}
+	return nil
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("=", len(t.Title)))
+	header := []string{t.XLabel}
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for i, x := range t.X {
+		row := []string{x}
+		for _, s := range t.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.1f", s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	width := make([]int, len(header))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > width[c] {
+				width[c] = len(cell)
+			}
+		}
+	}
+	for r, row := range rows {
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", width[c], cell)
+		}
+		b.WriteByte('\n')
+		if r == 0 {
+			for c := range row {
+				if c > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", width[c]))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if t.YLabel != "" {
+		fmt.Fprintf(&b, "(values in %s)\n", t.YLabel)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, ",%s", s.Name)
+	}
+	b.WriteByte('\n')
+	for i, x := range t.X {
+		b.WriteString(x)
+		for _, s := range t.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, ",%g", s.Y[i])
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Improvement returns the percentage by which a exceeds b: 100*(a-b)/b.
+func Improvement(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * (a - b) / b
+}

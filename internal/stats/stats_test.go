@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{Title: "T", XLabel: "x", YLabel: "MiB/s", X: []string{"1", "2"}}
+	t.Add("a", []float64{1.5, 2.5})
+	t.Add("b", []float64{3})
+	t.Notes = append(t.Notes, "a note")
+	return t
+}
+
+func TestFormatAligned(t *testing.T) {
+	out := sample().Format()
+	for _, want := range []string{"T\n=", "x", "a", "b", "1.5", "2.5", "3.0", "note: a note", "(values in MiB/s)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+	// The short series renders a dash, not a panic.
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing placeholder for short series")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := sample().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d CSV lines", len(lines))
+	}
+	if lines[0] != "x,a,b" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[2] != "2,2.5," {
+		t.Fatalf("row %q", lines[2])
+	}
+}
+
+func TestGet(t *testing.T) {
+	tb := sample()
+	if tb.Get("a") == nil || tb.Get("missing") != nil {
+		t.Fatal("Get misbehaves")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(150, 100); math.Abs(got-50) > 1e-12 {
+		t.Fatalf("Improvement = %v", got)
+	}
+	if got := Improvement(100, 0); got != 0 {
+		t.Fatalf("Improvement by zero = %v", got)
+	}
+}

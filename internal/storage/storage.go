@@ -1,0 +1,216 @@
+// Package storage models the ALCF parallel filesystem substrate (paper
+// II-A): file server nodes (FSNs) fronting DDN disk arrays, reached from the
+// IONs over the same external network, with GPFS-style block striping.
+//
+// The model is deliberately at the level MADbench2 exercises: large
+// contiguous reads and writes from many clients, striped round-robin across
+// servers, each server imposing NIC and disk service. Metadata is a fixed
+// open/close latency. The paper's figure-13 comparison is about the
+// forwarding mechanisms, not GPFS internals; the substrate only has to keep
+// storage from being the artificial bottleneck, as on the real machine.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Config describes the filesystem.
+type Config struct {
+	// FSNs is the number of file server nodes (128 at the ALCF).
+	FSNs int
+	// StripeBytes is the block/stripe unit (GPFS blocks).
+	StripeBytes int64
+	// NICBandwidth is each FSN's network bandwidth in bytes/second.
+	NICBandwidth float64
+	// DiskBandwidth is each FSN's effective storage bandwidth in
+	// bytes/second (its share of the DDN arrays).
+	DiskBandwidth float64
+	// OpenLatency is the metadata cost of open/create/close.
+	OpenLatency sim.Time
+}
+
+// FSN is one file server node: a NIC and a disk service.
+type FSN struct {
+	ID   int
+	NIC  *simnet.Link
+	Disk *sim.PS
+}
+
+// System is the parallel filesystem.
+type System struct {
+	eng  *sim.Engine
+	cfg  Config
+	fsns []*FSN
+
+	nextInode uint64
+	files     map[string]*fileState
+}
+
+type fileState struct {
+	inode   uint64
+	size    int64
+	written int64 // cumulative bytes written, for verification
+	reads   int64
+	opens   int
+	// firstFSN rotates the stripe placement per file, as GPFS does, so
+	// concurrent files do not all hammer server 0 for block 0.
+	firstFSN int
+}
+
+// New builds the filesystem on the engine.
+func New(e *sim.Engine, cfg Config) *System {
+	if cfg.FSNs <= 0 || cfg.StripeBytes <= 0 {
+		panic(fmt.Sprintf("storage: invalid config %+v", cfg))
+	}
+	s := &System{eng: e, cfg: cfg, files: make(map[string]*fileState)}
+	for i := 0; i < cfg.FSNs; i++ {
+		s.fsns = append(s.fsns, &FSN{
+			ID:   i,
+			NIC:  simnet.NewLink(e, fmt.Sprintf("fsn%d-nic", i), cfg.NICBandwidth),
+			Disk: sim.NewPS(e, 1, cfg.DiskBandwidth),
+		})
+	}
+	return s
+}
+
+// Config returns the filesystem configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// FSNCount returns the number of file server nodes.
+func (s *System) FSNCount() int { return len(s.fsns) }
+
+// FSN returns server i, for tests and instrumentation.
+func (s *System) FSN(i int) *FSN { return s.fsns[i] }
+
+// Open opens (creating if needed) the named file and charges the metadata
+// latency.
+func (s *System) Open(p *sim.Proc, name string) *File {
+	st, ok := s.files[name]
+	if !ok {
+		st = &fileState{inode: s.nextInode, firstFSN: int(s.nextInode) % len(s.fsns)}
+		s.nextInode++
+		s.files[name] = st
+	}
+	st.opens++
+	if s.cfg.OpenLatency > 0 {
+		p.Sleep(s.cfg.OpenLatency)
+	}
+	return &File{sys: s, st: st, name: name}
+}
+
+// Stat returns the current size of the named file and whether it exists,
+// without charging any simulated time.
+func (s *System) Stat(name string) (int64, bool) {
+	st, ok := s.files[name]
+	if !ok {
+		return 0, false
+	}
+	return st.size, true
+}
+
+// BytesWritten returns cumulative bytes written to the named file.
+func (s *System) BytesWritten(name string) int64 {
+	if st, ok := s.files[name]; ok {
+		return st.written
+	}
+	return 0
+}
+
+// File is an open handle.
+type File struct {
+	sys  *System
+	st   *fileState
+	name string
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the file size.
+func (f *File) Size() int64 { return f.st.size }
+
+// Close charges the metadata latency.
+func (f *File) Close(p *sim.Proc) {
+	if f.sys.cfg.OpenLatency > 0 {
+		p.Sleep(f.sys.cfg.OpenLatency)
+	}
+}
+
+// stripe describes one contiguous extent on a single server.
+type stripe struct {
+	fsn   *FSN
+	bytes int64
+}
+
+// stripes splits [off, off+n) into per-server extents, round-robin by
+// stripe unit starting at the file's rotated first server.
+func (f *File) stripes(off, n int64) []stripe {
+	var out []stripe
+	unit := f.sys.cfg.StripeBytes
+	for n > 0 {
+		idx := off / unit
+		inBlock := unit - off%unit
+		c := min(inBlock, n)
+		fsn := f.sys.fsns[(int(idx)+f.st.firstFSN)%len(f.sys.fsns)]
+		out = append(out, stripe{fsn: fsn, bytes: c})
+		off += c
+		n -= c
+	}
+	return out
+}
+
+// ServeWrite charges the server-side resources for writing [off, off+n):
+// every touched server's NIC and disk, in parallel across servers. The
+// caller (an ION-side sink) models the client-side cost and blocks p until
+// all stripes land.
+func (f *File) ServeWrite(p *sim.Proc, off, n int64) error {
+	if n < 0 || off < 0 {
+		return fmt.Errorf("storage: bad write off=%d n=%d on %q", off, n, f.name)
+	}
+	if n == 0 {
+		return nil
+	}
+	eng := f.sys.eng
+	parts := f.stripes(off, n)
+	wg := eng.NewWaitGroup(2 * len(parts))
+	for _, part := range parts {
+		part := part
+		part.fsn.NIC.TransferAsync(eng, part.bytes, wg.Done)
+		part.fsn.Disk.ServeAsync(float64(part.bytes), wg.Done)
+	}
+	wg.Wait(p)
+	f.st.written += n
+	if off+n > f.st.size {
+		f.st.size = off + n
+	}
+	return nil
+}
+
+// ServeRead charges the server-side resources for reading [off, off+n).
+func (f *File) ServeRead(p *sim.Proc, off, n int64) error {
+	if n < 0 || off < 0 {
+		return fmt.Errorf("storage: bad read off=%d n=%d on %q", off, n, f.name)
+	}
+	if off+n > f.st.size {
+		return fmt.Errorf("storage: read past EOF on %q: off=%d n=%d size=%d", f.name, off, n, f.st.size)
+	}
+	if n == 0 {
+		return nil
+	}
+	eng := f.sys.eng
+	parts := f.stripes(off, n)
+	wg := eng.NewWaitGroup(2 * len(parts))
+	for _, part := range parts {
+		part := part
+		part.fsn.Disk.ServeAsync(float64(part.bytes), func() {
+			part.fsn.NIC.TransferAsync(eng, part.bytes, wg.Done)
+			wg.Done()
+		})
+	}
+	wg.Wait(p)
+	f.st.reads += n
+	return nil
+}

@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func testFS(e *sim.Engine) *System {
+	return New(e, Config{
+		FSNs:          8,
+		StripeBytes:   4 << 20,
+		NICBandwidth:  1.25e9,
+		DiskBandwidth: 350e6,
+		OpenLatency:   sim.Millisecond,
+	})
+}
+
+func TestStripingLayout(t *testing.T) {
+	e := sim.New(1)
+	fs := testFS(e)
+	var f *File
+	e.Spawn("t", func(p *sim.Proc) { f = fs.Open(p, "a") })
+	e.Run(0)
+	// 10 MiB starting at 2 MiB: 2 MiB in block 0, 4 MiB in block 1, 4 MiB
+	// in block 2.
+	parts := f.stripes(2<<20, 10<<20)
+	if len(parts) != 3 {
+		t.Fatalf("%d stripes, want 3", len(parts))
+	}
+	if parts[0].bytes != 2<<20 || parts[1].bytes != 4<<20 || parts[2].bytes != 4<<20 {
+		t.Fatalf("stripe sizes %d %d %d", parts[0].bytes, parts[1].bytes, parts[2].bytes)
+	}
+	if parts[0].fsn == parts[1].fsn || parts[1].fsn == parts[2].fsn {
+		t.Fatal("adjacent stripes on the same server")
+	}
+}
+
+func TestStripingCoversExactly(t *testing.T) {
+	e := sim.New(1)
+	fs := testFS(e)
+	var f *File
+	e.Spawn("t", func(p *sim.Proc) { f = fs.Open(p, "b") })
+	e.Run(0)
+	prop := func(off uint32, n uint32) bool {
+		parts := f.stripes(int64(off), int64(n))
+		var sum int64
+		for _, part := range parts {
+			if part.bytes <= 0 || part.bytes > f.sys.cfg.StripeBytes {
+				return false
+			}
+			sum += part.bytes
+		}
+		return sum == int64(n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadAccounting(t *testing.T) {
+	e := sim.New(1)
+	fs := testFS(e)
+	e.Spawn("t", func(p *sim.Proc) {
+		f := fs.Open(p, "data")
+		if err := f.ServeWrite(p, 0, 10<<20); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if f.Size() != 10<<20 {
+			t.Errorf("size %d", f.Size())
+		}
+		if err := f.ServeRead(p, 0, 10<<20); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		if err := f.ServeRead(p, 5<<20, 6<<20); err == nil {
+			t.Error("read past EOF succeeded")
+		}
+		f.Close(p)
+	})
+	e.Run(0)
+	if fs.BytesWritten("data") != 10<<20 {
+		t.Fatalf("bytes written %d", fs.BytesWritten("data"))
+	}
+	if size, ok := fs.Stat("data"); !ok || size != 10<<20 {
+		t.Fatalf("stat %d %v", size, ok)
+	}
+}
+
+func TestWriteTimeBoundedByDisk(t *testing.T) {
+	e := sim.New(1)
+	fs := testFS(e)
+	var took sim.Time
+	e.Spawn("t", func(p *sim.Proc) {
+		f := fs.Open(p, "x")
+		start := p.Now()
+		// 4 MiB to a single stripe: bounded below by one disk at 350 MB/s.
+		if err := f.ServeWrite(p, 0, 4<<20); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		took = p.Now() - start
+	})
+	e.Run(0)
+	minTime := sim.Seconds(float64(4<<20) / 350e6)
+	if took < minTime {
+		t.Fatalf("write took %v, faster than the disk %v", took, minTime)
+	}
+}
+
+func TestParallelStripesFasterThanSerial(t *testing.T) {
+	// A 32 MiB write spanning 8 servers must complete far faster than
+	// 8 sequential 4 MiB writes to one server would.
+	e := sim.New(1)
+	fs := testFS(e)
+	var took sim.Time
+	e.Spawn("t", func(p *sim.Proc) {
+		f := fs.Open(p, "wide")
+		start := p.Now()
+		if err := f.ServeWrite(p, 0, 32<<20); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		took = p.Now() - start
+	})
+	e.Run(0)
+	serial := sim.Seconds(float64(32<<20) / 350e6)
+	if took > serial/4 {
+		t.Fatalf("striped write took %v; not parallel (serial would be %v)", took, serial)
+	}
+}
+
+func TestDistinctFilesRotateServers(t *testing.T) {
+	e := sim.New(1)
+	fs := testFS(e)
+	firsts := map[int]bool{}
+	e.Spawn("t", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			f := fs.Open(p, fmt.Sprintf("f%d", i))
+			parts := f.stripes(0, 1)
+			firsts[parts[0].fsn.ID] = true
+		}
+	})
+	e.Run(0)
+	if len(firsts) < 4 {
+		t.Fatalf("first stripes clustered on %d servers", len(firsts))
+	}
+}
+
+func TestOpenIsIdempotentOnState(t *testing.T) {
+	e := sim.New(1)
+	fs := testFS(e)
+	e.Spawn("t", func(p *sim.Proc) {
+		a := fs.Open(p, "same")
+		if err := a.ServeWrite(p, 0, 1024); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		b := fs.Open(p, "same")
+		if b.Size() != 1024 {
+			t.Errorf("reopened size %d", b.Size())
+		}
+	})
+	e.Run(0)
+}
