@@ -4,17 +4,52 @@
 // is reported.
 //
 //	fwdbench -addr 127.0.0.1:7070 -clients 32 -msg 1048576 -iters 200
+//
+// With -report > 0 a periodic stats line (ops, interval and cumulative
+// MiB/s) is printed to stderr while the run is in progress.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
+
+// progress is the client-side telemetry the periodic reporter reads; the
+// worker goroutines bump it after every completed operation.
+var progress struct {
+	ops   telemetry.Counter
+	bytes telemetry.Counter
+}
+
+// report prints one stats line per interval until stop is closed.
+func report(interval time.Duration, start time.Time, stop <-chan struct{}) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var lastBytes, lastOps uint64
+	last := start
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-tick.C:
+			b, o := progress.bytes.Value(), progress.ops.Value()
+			dt := now.Sub(last).Seconds()
+			fmt.Fprintf(os.Stderr,
+				"t=%5.1fs ops=%-8d +%-6d %7.1f MiB/s (interval)  %7.1f MiB/s (cumulative)\n",
+				now.Sub(start).Seconds(), o, o-lastOps,
+				float64(b-lastBytes)/dt/(1<<20),
+				float64(b)/now.Sub(start).Seconds()/(1<<20))
+			lastBytes, lastOps, last = b, o, now
+		}
+	}
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "server address")
@@ -22,10 +57,15 @@ func main() {
 	msg := flag.Int("msg", 1<<20, "message size in bytes")
 	iters := flag.Int("iters", 100, "messages per client")
 	reads := flag.Bool("reads", false, "benchmark reads instead of writes")
+	reportEvery := flag.Duration("report", time.Second, "periodic stats-line interval on stderr (0 disables)")
 	flag.Parse()
 
 	var wg sync.WaitGroup
 	start := time.Now()
+	stop := make(chan struct{})
+	if *reportEvery > 0 {
+		go report(*reportEvery, start, stop)
+	}
 	for c := 0; c < *clients; c++ {
 		c := c
 		wg.Add(1)
@@ -53,12 +93,16 @@ func main() {
 					if _, err := f.ReadAt(buf, 0); err != nil {
 						log.Fatalf("client %d read %d: %v", c, i, err)
 					}
+					progress.ops.Inc()
+					progress.bytes.Add(uint64(*msg))
 				}
 			} else {
 				for i := 0; i < *iters; i++ {
 					if _, err := f.Write(buf); err != nil {
 						log.Fatalf("client %d write %d: %v", c, i, err)
 					}
+					progress.ops.Inc()
+					progress.bytes.Add(uint64(*msg))
 				}
 				if err := f.Sync(); err != nil {
 					log.Fatalf("client %d sync: %v", c, err)
@@ -70,6 +114,7 @@ func main() {
 		}()
 	}
 	wg.Wait()
+	close(stop)
 	elapsed := time.Since(start)
 	total := int64(*clients) * int64(*iters) * int64(*msg)
 	op := "writes"

@@ -3,6 +3,11 @@
 //
 //	fwdd -listen :7070 -mode async -workers 4 -bml 256 -backend file -root /tmp/fwd
 //	fwdd -listen :7070 -mode direct -backend null
+//	fwdd -listen :7070 -metrics :9090   # Prometheus /metrics + JSON /statz
+//
+// On SIGINT/SIGTERM the daemon stops accepting, drains the work queue
+// (flushing staged writes), prints a final metrics snapshot to stderr, and
+// exits.
 package main
 
 import (
@@ -10,7 +15,10 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 )
@@ -24,6 +32,7 @@ func main() {
 	backendKind := flag.String("backend", "mem", "backend: mem | null | file | sink")
 	root := flag.String("root", ".", "root directory for -backend file")
 	sinkMiBps := flag.Int64("sink-rate", 100, "bandwidth in MiB/s for -backend sink")
+	metricsAddr := flag.String("metrics", "", "address for the observability HTTP listener serving /metrics (Prometheus text) and /statz (JSON); empty disables")
 	flag.Parse()
 
 	var m core.Mode
@@ -65,9 +74,43 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.Metrics().Handler())
+		mux.Handle("/statz", srv.Metrics().StatzHandler())
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("fwdd: metrics listener: %v", err)
+		}
+		log.Printf("fwdd: serving /metrics and /statz on %s", ml.Addr())
+		go func() {
+			if err := http.Serve(ml, mux); err != nil {
+				log.Printf("fwdd: metrics server: %v", err)
+			}
+		}()
+	}
+
+	// Graceful shutdown: stop accepting, let the worker pool drain the work
+	// queue (which flushes staged writes), then dump a final snapshot.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("fwdd: %v: stopping accept loop and draining staged writes", sig)
+		if err := srv.Close(); err != nil {
+			log.Printf("fwdd: close: %v", err)
+		}
+	}()
+
 	log.Printf("fwdd: %s mode, %d workers, %d MiB BML, %s backend, listening on %s",
 		m, *workers, *bmlMiB, *backendKind, l.Addr())
 	if err := srv.Serve(l); err != nil {
 		log.Fatal(err)
 	}
+	fmt.Fprintln(os.Stderr, "fwdd: final metrics snapshot:")
+	if err := srv.Metrics().WritePrometheus(os.Stderr); err != nil {
+		log.Printf("fwdd: snapshot: %v", err)
+	}
+	log.Print("fwdd: shutdown complete")
 }

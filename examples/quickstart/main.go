@@ -1,6 +1,8 @@
 // Quickstart: run a forwarding server with asynchronous data staging over a
 // TCP loopback, write a file through it, observe a deferred-error-free
-// round trip, and print the server-side staging statistics.
+// round trip, and print the server-side staging statistics plus a telemetry
+// snapshot — the same per-stage numbers a production fwdd exports at
+// /metrics.
 package main
 
 import (
@@ -8,8 +10,10 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -74,4 +78,34 @@ func main() {
 		st.Ops, st.StagedWrites, st.WorkerBatch)
 	fmt.Printf("BML: %d allocations (%d fresh), peak %d KiB\n",
 		bml.Allocs, bml.Fresh, bml.Peak/1024)
+
+	// The telemetry registry holds the same counters plus the per-stage
+	// latency distributions of the forwarding path (paper stages: CN→ION
+	// receive, queue wait, backend service, reply).
+	fmt.Println("\ntelemetry snapshot (excerpt):")
+	snaps := srv.Metrics().Snapshot()
+	if f := telemetry.Find(snaps, "iofwd_requests_total"); f != nil {
+		for _, s := range f.Series {
+			if v := *s.Value; v > 0 {
+				fmt.Printf("  requests{op=%q} = %d\n", s.Labels["op"], v)
+			}
+		}
+	}
+	if f := telemetry.Find(snaps, "iofwd_stage_latency_ns"); f != nil {
+		for _, s := range f.Series {
+			h := s.Histogram
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Printf("  stage %-7s n=%-4d p50=%-10v p99=%-10v max=%v\n",
+				s.Labels["stage"], h.Count,
+				time.Duration(h.P50), time.Duration(h.P99), time.Duration(h.Max))
+		}
+	}
+	if f := telemetry.Find(snaps, "iofwd_queue_peak_depth"); f != nil {
+		fmt.Printf("  queue peak depth = %d\n", *f.Series[0].Value)
+	}
+	if f := telemetry.Find(snaps, "iofwd_bml_peak_bytes"); f != nil {
+		fmt.Printf("  BML peak = %d KiB\n", *f.Series[0].Value/1024)
+	}
 }

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // BML is the buffer management layer (paper Section IV): a capacity-bounded
@@ -14,11 +17,19 @@ type BML struct {
 	capacity int64
 	minClass int64
 
-	mu    sync.Mutex
-	cond  *sync.Cond
-	used  int64
-	free  map[int64][][]byte // class size -> stack of free buffers
-	stats BMLStats
+	mu   sync.Mutex
+	cond *sync.Cond
+	used int64
+	free map[int64][][]byte // class size -> stack of free buffers
+
+	// Counters are telemetry atomics so snapshot reads are race-free and
+	// the registry exports the same values BMLStats reports (one source of
+	// truth; see internal/core/metrics.go for the registered names).
+	allocs    telemetry.Counter
+	fresh     telemetry.Counter
+	stalls    telemetry.Counter
+	peak      telemetry.MaxGauge
+	stallWait telemetry.Histogram
 }
 
 // BMLStats reports pool behaviour.
@@ -59,9 +70,12 @@ func (b *BML) Used() int64 {
 
 // Stats returns a snapshot of the pool counters.
 func (b *BML) Stats() BMLStats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
+	return BMLStats{
+		Allocs: b.allocs.Value(),
+		Fresh:  b.fresh.Value(),
+		Stalls: b.stalls.Value(),
+		Peak:   b.peak.Value(),
+	}
 }
 
 // classFor rounds n up to the pool's power-of-2 class ("the buffer
@@ -81,26 +95,26 @@ func (b *BML) Get(n int) []byte {
 		panic(fmt.Sprintf("core: buffer class %d exceeds BML capacity %d", c, b.capacity))
 	}
 	b.mu.Lock()
-	stalled := false
-	for b.used+c > b.capacity {
-		stalled = true
-		b.cond.Wait()
-	}
-	if stalled {
-		b.stats.Stalls++
+	if b.used+c > b.capacity {
+		// Allocation stall: the paper's back-pressure rule. Time the wait
+		// so the stall distribution is visible next to the stall count.
+		t0 := time.Now()
+		for b.used+c > b.capacity {
+			b.cond.Wait()
+		}
+		b.stalls.Inc()
+		b.stallWait.Observe(time.Since(t0).Nanoseconds())
 	}
 	b.used += c
-	if b.used > b.stats.Peak {
-		b.stats.Peak = b.used
-	}
-	b.stats.Allocs++
+	b.peak.Observe(b.used)
+	b.allocs.Inc()
 	var buf []byte
 	if stack := b.free[c]; len(stack) > 0 {
 		buf = stack[len(stack)-1]
 		stack[len(stack)-1] = nil
 		b.free[c] = stack[:len(stack)-1]
 	} else {
-		b.stats.Fresh++
+		b.fresh.Inc()
 	}
 	b.mu.Unlock()
 	if buf == nil {

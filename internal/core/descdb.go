@@ -12,6 +12,9 @@ type descriptor struct {
 	fd     uint64
 	handle Handle
 	name   string
+	// met, when non-nil, receives in-flight and deferred-error telemetry
+	// (shared with the owning server; see internal/core/metrics.go).
+	met *serverMetrics
 
 	mu        sync.Mutex
 	cursor    int64
@@ -52,15 +55,27 @@ func (d *descriptor) at() uint64 {
 	return op
 }
 
-// start records a staged operation beginning.
+// start records a staged operation beginning. The gauge moves before the
+// operation is visible anywhere else.
 func (d *descriptor) start() {
+	if d.met != nil {
+		d.met.inflightStaged.Inc()
+	}
 	d.mu.Lock()
 	d.inFlight++
 	d.mu.Unlock()
 }
 
-// complete records a staged operation finishing with err.
+// complete records a staged operation finishing with err. Telemetry moves
+// before the idle broadcast so a drain-then-snapshot sequence observes the
+// drained state.
 func (d *descriptor) complete(op uint64, err error) {
+	if d.met != nil {
+		d.met.inflightStaged.Dec()
+		if err != nil {
+			d.met.deferredErrors.Inc()
+		}
+	}
 	d.mu.Lock()
 	d.inFlight--
 	d.completed++
@@ -100,18 +115,25 @@ type descDB struct {
 	mu     sync.Mutex
 	nextFD uint64
 	byFD   map[uint64]*descriptor
+	// met, when non-nil, tracks the server-wide open-descriptor gauge and
+	// is inherited by every descriptor the table opens.
+	met *serverMetrics
 }
 
-func newDescDB() *descDB {
-	return &descDB{nextFD: 3, byFD: make(map[uint64]*descriptor)}
+func newDescDB(met *serverMetrics) *descDB {
+	return &descDB{nextFD: 3, byFD: make(map[uint64]*descriptor), met: met}
 }
 
 func (db *descDB) open(name string, h Handle) *descriptor {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	d := newDescriptor(db.nextFD, name, h)
+	d.met = db.met
 	db.nextFD++
 	db.byFD[d.fd] = d
+	if db.met != nil {
+		db.met.openDescs.Inc()
+	}
 	return d
 }
 
@@ -128,11 +150,15 @@ func (db *descDB) lookup(fd uint64) (*descriptor, bool) {
 // remove drops the descriptor from the table; the caller drains it first.
 func (db *descDB) remove(fd uint64) {
 	db.mu.Lock()
-	if d, ok := db.byFD[fd]; ok {
+	d, ok := db.byFD[fd]
+	if ok {
 		d.closed = true
 		delete(db.byFD, fd)
 	}
 	db.mu.Unlock()
+	if ok && db.met != nil {
+		db.met.openDescs.Dec()
+	}
 }
 
 // all returns a snapshot of open descriptors.

@@ -1,6 +1,11 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
 
 // task is one unit of queued I/O work (paper figure 7: the ZOID thread
 // enqueues the I/O task into the shared FIFO work queue).
@@ -16,6 +21,9 @@ type task struct {
 	done chan error
 	// n is set to the byte count actually moved (reads).
 	n int
+	// enq is when the submitter stamped the task; the worker observes the
+	// queue-wait stage from it.
+	enq time.Time
 }
 
 // taskQueue is the shared FIFO work queue: unbounded, multi-producer,
@@ -25,7 +33,7 @@ type taskQueue struct {
 	cond   *sync.Cond
 	items  []*task
 	closed bool
-	peak   int
+	peak   telemetry.MaxGauge
 }
 
 func newTaskQueue() *taskQueue {
@@ -41,9 +49,7 @@ func (q *taskQueue) put(t *task) {
 		panic("core: put on closed task queue")
 	}
 	q.items = append(q.items, t)
-	if len(q.items) > q.peak {
-		q.peak = len(q.items)
-	}
+	q.peak.Observe(int64(len(q.items)))
 	q.mu.Unlock()
 	q.cond.Signal()
 }
@@ -85,21 +91,34 @@ func (q *taskQueue) depth() int {
 // and executes them in its event loop (paper Section IV).
 func (s *Server) worker() {
 	defer s.workerWG.Done()
+	m := s.metrics
 	var batch []*task
 	for {
 		batch = s.queue.getBatch(s.cfg.Batch, batch)
 		if batch == nil {
 			return
 		}
-		s.batches.Add(1)
+		m.batches.Inc()
+		m.batchSize.Observe(int64(len(batch)))
+		// Timestamps chain through the batch: each task's service start is
+		// the previous task's completion, so queue wait covers the full
+		// time until service begins and backend covers exactly the
+		// execution.
+		now := time.Now()
 		for _, t := range batch {
-			s.execute(t)
+			if !t.enq.IsZero() {
+				m.stageQueue.Observe(now.Sub(t.enq).Nanoseconds())
+			}
+			now = s.execute(t, now)
 		}
 	}
 }
 
-// execute runs one task and routes its result.
-func (s *Server) execute(t *task) {
+// execute runs one task, observes its backend service time, and routes its
+// result. The observation happens before the result is published so a
+// snapshot taken after a drain sees every completed task. It returns the
+// completion timestamp for the worker's chained batch timing.
+func (s *Server) execute(t *task, start time.Time) time.Time {
 	var err error
 	switch t.op {
 	case OpWrite:
@@ -108,11 +127,14 @@ func (s *Server) execute(t *task) {
 	case OpRead:
 		t.n, err = t.d.handle.ReadAt(t.buf, t.off)
 	}
+	end := time.Now()
+	s.metrics.stageBackend.Observe(end.Sub(start).Nanoseconds())
 	if t.done != nil {
 		t.done <- err
-		return
+		return end
 	}
 	// Staged: record the outcome in the descriptor database; the error (if
 	// any) surfaces on a later operation on this descriptor.
 	t.d.complete(t.opNum, err)
+	return end
 }

@@ -6,7 +6,9 @@ import (
 	"io"
 	"net"
 	"sync"
-	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Mode selects the server's execution model (see the package comment).
@@ -52,6 +54,10 @@ type Config struct {
 	// filtering / in-situ analytics offload). Filters must not grow the
 	// payload.
 	Filters *FilterChain
+	// Metrics, when non-nil, is the telemetry registry the server
+	// registers its instruments on (a fresh one is created otherwise).
+	// Each Server needs its own registry.
+	Metrics *telemetry.Registry
 }
 
 // ServerStats are cumulative server counters.
@@ -66,16 +72,10 @@ type ServerStats struct {
 
 // Server is a forwarding server.
 type Server struct {
-	cfg   Config
-	bml   *BML
-	queue *taskQueue
-
-	ops          atomic.Uint64
-	bytesWritten atomic.Uint64
-	bytesRead    atomic.Uint64
-	staged       atomic.Uint64
-	batches      atomic.Uint64
-	conns        atomic.Uint64
+	cfg     Config
+	bml     *BML
+	queue   *taskQueue
+	metrics *serverMetrics
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -98,9 +98,16 @@ func NewServer(cfg Config) *Server {
 	if cfg.BMLBytes <= 0 {
 		cfg.BMLBytes = 256 << 20
 	}
-	s := &Server{cfg: cfg, bml: NewBML(cfg.BMLBytes)}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s := &Server{cfg: cfg, bml: NewBML(cfg.BMLBytes), metrics: newServerMetrics(reg)}
 	if cfg.Mode != ModeDirect {
 		s.queue = newTaskQueue()
+	}
+	s.metrics.wire(s)
+	if s.queue != nil {
 		for i := 0; i < cfg.Workers; i++ {
 			s.workerWG.Add(1)
 			go s.worker()
@@ -109,21 +116,32 @@ func NewServer(cfg Config) *Server {
 	return s
 }
 
+// Metrics returns the server's telemetry registry (serve it at /metrics —
+// see cmd/fwdd).
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics.reg }
+
 // Mode returns the server's execution model.
 func (s *Server) Mode() Mode { return s.cfg.Mode }
 
 // BMLStats exposes the staging pool counters.
 func (s *Server) BMLStats() BMLStats { return s.bml.Stats() }
 
-// Stats returns a snapshot of the server counters.
+// Stats returns a snapshot of the server counters, read from the telemetry
+// registry's atomics (the single source of truth the /metrics endpoint also
+// exports).
 func (s *Server) Stats() ServerStats {
+	m := s.metrics
+	var ops uint64
+	for i := range m.requests {
+		ops += m.requests[i].Value()
+	}
 	return ServerStats{
-		Ops:          s.ops.Load(),
-		BytesWritten: s.bytesWritten.Load(),
-		BytesRead:    s.bytesRead.Load(),
-		StagedWrites: s.staged.Load(),
-		WorkerBatch:  s.batches.Load(),
-		Conns:        s.conns.Load(),
+		Ops:          ops,
+		BytesWritten: m.bytesWritten.Value(),
+		BytesRead:    m.bytesRead.Value(),
+		StagedWrites: m.staged.Value(),
+		WorkerBatch:  m.batches.Value(),
+		Conns:        m.conns.Value(),
 	}
 }
 
@@ -175,8 +193,10 @@ func (s *Server) Close() error {
 // ServeConn handles one client connection until EOF or error. It is
 // exported so tests and in-process users can serve a net.Pipe end directly.
 func (s *Server) ServeConn(nc net.Conn) error {
-	s.conns.Add(1)
-	c := &serverConn{srv: s, nc: nc, db: newDescDB()}
+	s.metrics.conns.Inc()
+	s.metrics.activeConns.Inc()
+	defer s.metrics.activeConns.Dec()
+	c := &serverConn{srv: s, nc: nc, db: newDescDB(s.metrics)}
 	err := c.run()
 	c.teardown()
 	_ = nc.Close()
@@ -227,7 +247,14 @@ func (c *serverConn) reply(reqID uint64, flags uint16, errno Errno, value int64,
 		length:  uint32(len(payload)),
 		pathLen: uint16(errno),
 	}
-	return writeFrame(c.nc, &h, payload)
+	m := c.srv.metrics
+	if errno != EOK {
+		m.replyErrors.Inc()
+	}
+	t0 := time.Now()
+	err := writeFrame(c.nc, &h, payload)
+	m.stageReply.Observe(time.Since(t0).Nanoseconds())
+	return err
 }
 
 // deferredFlags folds a descriptor's pending deferred error into a reply.
@@ -238,9 +265,20 @@ func deferredFlags(d *descriptor) (uint16, Errno) {
 	return 0, EOK
 }
 
+// dispatch times the whole request (header decoded to reply written) into
+// the per-op latency histogram around handleOp.
 func (c *serverConn) dispatch(h *header) error {
+	m := c.srv.metrics
+	i := opIndex(h.op)
+	m.requests[i].Inc()
+	start := time.Now()
+	err := c.handleOp(h, start)
+	m.reqLatency[i].Observe(time.Since(start).Nanoseconds())
+	return err
+}
+
+func (c *serverConn) handleOp(h *header, start time.Time) error {
 	s := c.srv
-	s.ops.Add(1)
 	switch h.op {
 	case OpOpen:
 		if h.pathLen == 0 || h.pathLen > MaxPath {
@@ -271,7 +309,7 @@ func (c *serverConn) dispatch(h *header) error {
 		return c.reply(h.reqID, flags, errno, 0, nil)
 
 	case OpWrite, OpPwrite:
-		return c.handleWrite(h)
+		return c.handleWrite(h, start)
 
 	case OpRead, OpPread:
 		return c.handleRead(h)
@@ -314,9 +352,12 @@ func (c *serverConn) dispatch(h *header) error {
 }
 
 // handleWrite receives the payload into a BML buffer and executes, queues,
-// or stages it per the server mode.
-func (c *serverConn) handleWrite(h *header) error {
+// or stages it per the server mode. start is the dispatch timestamp; the
+// recv stage is measured from it to payload-received (BML admission wait
+// included — that is the staging back-pressure the paper describes).
+func (c *serverConn) handleWrite(h *header, start time.Time) error {
 	s := c.srv
+	m := s.metrics
 	if h.length > MaxPayload {
 		return fmt.Errorf("core: oversized write %d", h.length)
 	}
@@ -335,6 +376,9 @@ func (c *serverConn) handleWrite(h *header) error {
 		s.bml.Put(buf)
 		return err
 	}
+	recvd := time.Now()
+	m.stageRecv.Observe(recvd.Sub(start).Nanoseconds())
+	m.writeBytes.Observe(int64(h.length))
 	// Forwarding-node data filtering happens before offsets are reserved,
 	// so reduced output still lands contiguously under cursor writes.
 	if s.cfg.Filters != nil {
@@ -363,25 +407,26 @@ func (c *serverConn) handleWrite(h *header) error {
 		off, opNum = d.nextOffset(int64(len(buf)))
 	}
 	n := int64(h.length)
-	s.bytesWritten.Add(uint64(n))
+	m.bytesWritten.Add(uint64(n))
 
 	switch s.cfg.Mode {
 	case ModeDirect:
 		_, err := d.handle.WriteAt(buf, off)
+		m.stageBackend.Observe(time.Since(recvd).Nanoseconds())
 		s.bml.Put(buf)
 		return c.reply(h.reqID, 0, toErrno(err), n, nil)
 
 	case ModeWorkQueue:
 		done := make(chan error, 1)
-		s.queue.put(&task{d: d, op: OpWrite, buf: buf, off: off, done: done})
+		s.queue.put(&task{d: d, op: OpWrite, buf: buf, off: off, done: done, enq: recvd})
 		err := <-done
 		return c.reply(h.reqID, 0, toErrno(err), n, nil)
 
 	case ModeAsync:
 		flags, errno := deferredFlags(d)
 		d.start()
-		s.staged.Add(1)
-		s.queue.put(&task{d: d, op: OpWrite, buf: buf, off: off, opNum: opNum})
+		m.staged.Inc()
+		s.queue.put(&task{d: d, op: OpWrite, buf: buf, off: off, opNum: opNum, enq: recvd})
 		return c.reply(h.reqID, flags|FlagStaged, errno, n, nil)
 	}
 	s.bml.Put(buf)
@@ -393,6 +438,7 @@ func (c *serverConn) handleWrite(h *header) error {
 // descriptor so the client observes its own writes.
 func (c *serverConn) handleRead(h *header) error {
 	s := c.srv
+	m := s.metrics
 	if h.length > MaxPayload {
 		return fmt.Errorf("core: oversized read %d", h.length)
 	}
@@ -415,18 +461,21 @@ func (c *serverConn) handleRead(h *header) error {
 	}
 	buf := s.bml.Get(int(h.length))
 	defer s.bml.Put(buf)
+	ready := time.Now()
 	var n int
 	var err error
 	if s.cfg.Mode == ModeDirect {
 		n, err = d.handle.ReadAt(buf, off)
+		m.stageBackend.Observe(time.Since(ready).Nanoseconds())
 	} else {
 		done := make(chan error, 1)
-		t := &task{d: d, op: OpRead, buf: buf, off: off, done: done}
+		t := &task{d: d, op: OpRead, buf: buf, off: off, done: done, enq: ready}
 		s.queue.put(t)
 		err = <-done
 		n = t.n
 	}
-	s.bytesRead.Add(uint64(n))
+	m.readBytes.Observe(int64(n))
+	m.bytesRead.Add(uint64(n))
 	errno := toErrno(err)
 	if derrno != EOK && errno == EOK {
 		errno = derrno

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCounterGauge hammers shared counters/gauges from many
+// goroutines; totals must be exact and the run must be clean under -race.
+func TestConcurrentCounterGauge(t *testing.T) {
+	const goroutines, iters = 16, 10000
+	var c Counter
+	var g Gauge
+	var m MaxGauge
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				m.Observe(int64(i*iters + j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", got, goroutines*iters)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got := m.Value(); got != goroutines*iters-1 {
+		t.Fatalf("max = %d, want %d", got, goroutines*iters-1)
+	}
+}
+
+// TestConcurrentHistogram checks that parallel Observe calls on one shared
+// histogram lose nothing: count, sum, and max must all be exact.
+func TestConcurrentHistogram(t *testing.T) {
+	const goroutines, iters = 16, 5000
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				h.Observe(int64(i + j + 1))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*iters {
+		t.Fatalf("count = %d, want %d", got, goroutines*iters)
+	}
+	var want int64
+	for i := 0; i < goroutines; i++ {
+		for j := 0; j < iters; j++ {
+			want += int64(i + j + 1)
+		}
+	}
+	if got := h.Sum(); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	if got := h.Max(); got != goroutines-1+iters-1+1 {
+		t.Fatalf("max = %d, want %d", got, goroutines+iters-1)
+	}
+}
+
+// TestConcurrentRegistryEncode registers and mutates metrics while another
+// goroutine repeatedly encodes — registration, writes, and reads must not
+// race.
+func TestConcurrentRegistryEncode(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("enc_ns", "Encode race test.")
+	c := r.Counter("enc_total", "Encode race test.")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Observe(42)
+				c.Inc()
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

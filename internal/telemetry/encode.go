@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE pair per family, then
+// one line per series. Histograms emit cumulative `_bucket{le="..."}`
+// lines at the log₂ bucket boundaries actually used, plus `_sum` and
+// `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.visit(func(f *family) {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch m := s.m.(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelString(s.labels, ""), m.Value())
+			case readGauge:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelString(s.labels, ""), m.Value())
+			case *Histogram:
+				writePromHistogram(bw, f.name, s.labels, m)
+			}
+		}
+	})
+	return bw.Flush()
+}
+
+// writePromHistogram emits the cumulative bucket series for one histogram.
+// Buckets below the first and above the last non-empty bucket are elided;
+// +Inf always appears.
+func writePromHistogram(w io.Writer, name string, labels []Label, h *Histogram) {
+	counts, total := h.snapshot()
+	lo, hi := -1, -1
+	for i, c := range counts {
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	var cum uint64
+	if lo >= 0 {
+		for i := lo; i <= hi; i++ {
+			cum += counts[i]
+			fmt.Fprintf(w, "%s_bucket%s %d\n",
+				name, labelString(labels, fmt.Sprintf("%d", bucketUpper(i))), cum)
+		}
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(labels, "+Inf"), total)
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, labelString(labels, ""), h.Sum())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(labels, ""), total)
+}
+
+// labelString renders a label set; le, when non-empty, is appended as the
+// histogram bucket boundary label.
+func labelString(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, escapeLabel(l.Value))
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "le=%q", le)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// SeriesSnapshot is one series in a point-in-time registry snapshot.
+type SeriesSnapshot struct {
+	Labels    map[string]string  `json:"labels,omitempty"`
+	Value     *int64             `json:"value,omitempty"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// FamilySnapshot is one metric family in a point-in-time registry snapshot.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   string           `json:"kind"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot captures every family for programmatic consumption (the /statz
+// endpoint, tests, example programs). Counters and gauges carry Value;
+// histograms carry count/sum/max and interpolated p50/p90/p99.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	var out []FamilySnapshot
+	r.visit(func(f *family) {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind.String()}
+		for _, s := range f.series {
+			ss := SeriesSnapshot{}
+			if len(s.labels) > 0 {
+				ss.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					ss.Labels[l.Name] = l.Value
+				}
+			}
+			switch m := s.m.(type) {
+			case *Counter:
+				v := int64(m.Value())
+				ss.Value = &v
+			case readGauge:
+				v := m.Value()
+				ss.Value = &v
+			case *Histogram:
+				hs := m.Snapshot()
+				ss.Histogram = &hs
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	})
+	return out
+}
+
+// WriteJSON renders the Snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Find returns the snapshot of the named family, if present — convenience
+// for tests and example programs.
+func Find(snaps []FamilySnapshot, name string) *FamilySnapshot {
+	for i := range snaps {
+		if snaps[i].Name == name {
+			return &snaps[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of log₂ buckets. Bucket i counts observations v
+// with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i (bucket 0 holds v <= 0
+// and v == 0 is impossible for Len64, so it holds non-positive values).
+// 64 buckets cover the full int64 range, so nanosecond latencies and byte
+// sizes both fit without configuration.
+const histBuckets = 64
+
+// Histogram is a lock-free log₂-bucketed histogram of int64 observations
+// (latencies in nanoseconds, sizes in bytes). The zero value is ready to
+// use. Observe is a few atomic adds; readers reconstruct counts, the sum,
+// the maximum, and interpolated quantiles from a bucket snapshot.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+func (h *Histogram) metricKind() Kind { return KindHistogram }
+
+// bucketIndex returns the log₂ bucket for v.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketUpper returns the exclusive upper bound of bucket i.
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(1)<<62 + (int64(1)<<62 - 1) // max int64, avoiding overflow
+	}
+	return int64(1) << uint(i)
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// snapshot copies the bucket counts and returns them with the total.
+func (h *Histogram) snapshot() (counts [histBuckets]uint64, total uint64) {
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return counts, total
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// inside the log₂ bucket containing the target rank. It returns 0 for an
+// empty histogram. The estimate's relative error is bounded by the bucket
+// width (a factor of 2), which is plenty to distinguish the paper's stage
+// regimes (µs-scale queueing vs ms-scale backend service).
+func (h *Histogram) Quantile(q float64) int64 {
+	counts, total := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation.
+	rank := uint64(q*float64(total-1)) + 1
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := float64(bucketUpper(i) / 2) // inclusive lower bound of bucket i
+			hi := float64(bucketUpper(i))
+			if i == 0 {
+				return 0
+			}
+			// Position of the target inside this bucket, in (0, 1].
+			frac := float64(rank-cum) / float64(c)
+			v := lo + frac*(hi-lo)
+			if m := h.max.Load(); v > float64(m) {
+				return m
+			}
+			return int64(v)
+		}
+		cum += c
+	}
+	return h.max.Load()
+}
+
+// HistogramSnapshot is a consistent read of a histogram for encoding.
+type HistogramSnapshot struct {
+	Count uint64 `json:"count"`
+	Sum   int64  `json:"sum"`
+	Max   int64  `json:"max"`
+	P50   int64  `json:"p50"`
+	P90   int64  `json:"p90"`
+	P99   int64  `json:"p99"`
+}
+
+// Snapshot returns the summary used by the JSON encoder.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,130 @@
+// Package telemetry is the repository's lock-free metrics subsystem: atomic
+// counters, gauges, and log₂-bucketed histograms, organised into a Registry
+// of labeled metric families with a Prometheus text-format encoder and a
+// JSON snapshot encoder.
+//
+// The package exists because the paper's whole method is *measuring each
+// stage* of the I/O forwarding path to find the bottleneck; internal/core
+// uses it to expose per-operation latency distributions, queue occupancy,
+// and staging-pool behaviour from a running server (see cmd/fwdd's
+// -metrics flag).
+//
+// All metric types are usable as zero values so that hot-path structs can
+// embed them directly; every mutation is a single atomic operation (plus a
+// rare CAS for maxima), making them safe for unsynchronised concurrent use
+// and cheap enough for per-request instrumentation.
+package telemetry
+
+import "sync/atomic"
+
+// Kind discriminates the metric families a Registry can hold.
+type Kind int
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Metric is any instrument a Registry can export.
+type Metric interface {
+	metricKind() Kind
+}
+
+// Counter is a monotonically increasing counter. The zero value is ready to
+// use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+func (c *Counter) metricKind() Kind { return KindCounter }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can go up and down. The zero value
+// is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+func (g *Gauge) metricKind() Kind { return KindGauge }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// GaugeFunc is a gauge whose value is computed at read time by a callback —
+// for occupancy values some other structure already tracks (queue depth,
+// pool bytes in use).
+type GaugeFunc struct {
+	fn func() int64
+}
+
+// NewGaugeFunc wraps fn as a readable gauge.
+func NewGaugeFunc(fn func() int64) *GaugeFunc { return &GaugeFunc{fn: fn} }
+
+func (g *GaugeFunc) metricKind() Kind { return KindGauge }
+
+// Value invokes the callback.
+func (g *GaugeFunc) Value() int64 { return g.fn() }
+
+// MaxGauge tracks the maximum value ever observed (a high-water mark). The
+// zero value is ready to use; observations below the current maximum cost
+// one atomic load.
+type MaxGauge struct {
+	v atomic.Int64
+}
+
+func (m *MaxGauge) metricKind() Kind { return KindGauge }
+
+// Observe raises the recorded maximum to v if v exceeds it.
+func (m *MaxGauge) Observe(v int64) {
+	for {
+		cur := m.v.Load()
+		if v <= cur {
+			return
+		}
+		if m.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the high-water mark.
+func (m *MaxGauge) Value() int64 { return m.v.Load() }
+
+// readGauge is the read side shared by Gauge, GaugeFunc and MaxGauge.
+type readGauge interface {
+	Value() int64
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// series is one registered instrument plus its label set.
+type series struct {
+	labels []Label
+	m      Metric
+}
+
+// family groups every series that shares a metric name. All series in a
+// family must have the same kind; the Prometheus encoder emits one
+// HELP/TYPE pair per family.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	series []series
+}
+
+// Registry holds metric families for export. Registration takes a lock;
+// reads of registered instruments are lock-free. A Registry is safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	byName   map[string]*family
+	families []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// Register adds a metric series under name. Series sharing a name form one
+// family and must agree on kind and on the exact label-set shape; a
+// duplicate label set or a kind conflict is a programming error and
+// returns one.
+func (r *Registry) Register(name, help string, m Metric, labels ...Label) error {
+	if name == "" {
+		return fmt.Errorf("telemetry: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: m.metricKind()}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	if f.kind != m.metricKind() {
+		return fmt.Errorf("telemetry: %s registered as %s, got %s", name, f.kind, m.metricKind())
+	}
+	key := labelKey(labels)
+	for _, s := range f.series {
+		if labelKey(s.labels) == key {
+			return fmt.Errorf("telemetry: duplicate series %s%s", name, key)
+		}
+	}
+	f.series = append(f.series, series{labels: append([]Label(nil), labels...), m: m})
+	return nil
+}
+
+// MustRegister is Register that panics on error — for init-time wiring.
+func (r *Registry) MustRegister(name, help string, m Metric, labels ...Label) {
+	if err := r.Register(name, help, m, labels...); err != nil {
+		panic(err)
+	}
+}
+
+// Counter registers and returns a new counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.MustRegister(name, help, c, labels...)
+	return c
+}
+
+// Gauge registers and returns a new gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.MustRegister(name, help, g, labels...)
+	return g
+}
+
+// GaugeFunc registers fn as a computed gauge series.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	r.MustRegister(name, help, NewGaugeFunc(fn), labels...)
+}
+
+// MaxGauge registers and returns a new high-water-mark series.
+func (r *Registry) MaxGauge(name, help string, labels ...Label) *MaxGauge {
+	m := &MaxGauge{}
+	r.MustRegister(name, help, m, labels...)
+	return m
+}
+
+// Histogram registers and returns a new histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	h := &Histogram{}
+	r.MustRegister(name, help, h, labels...)
+	return h
+}
+
+// labelKey canonicalises a label set for duplicate detection.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	key := "{"
+	for i, l := range ls {
+		if i > 0 {
+			key += ","
+		}
+		key += l.Name + "=" + l.Value
+	}
+	return key + "}"
+}
+
+// visit calls fn for every family in registration order while holding the
+// read lock. The encoders are built on it.
+func (r *Registry) visit(fn func(f *family)) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, f := range r.families {
+		fn(f)
+	}
+}

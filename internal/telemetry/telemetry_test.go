@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+
+	var m MaxGauge
+	for _, v := range []int64{3, 9, 1, 9, 4} {
+		m.Observe(v)
+	}
+	if got := m.Value(); got != 9 {
+		t.Fatalf("max gauge = %d, want 9", got)
+	}
+
+	gf := NewGaugeFunc(func() int64 { return 123 })
+	if got := gf.Value(); got != 123 {
+		t.Fatalf("gauge func = %d, want 123", got)
+	}
+}
+
+func TestHistogramCountSumMax(t *testing.T) {
+	var h Histogram
+	vals := []int64{1, 2, 3, 100, 1000, 1 << 20}
+	var sum int64
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	if got := h.Count(); got != uint64(len(vals)) {
+		t.Fatalf("count = %d, want %d", got, len(vals))
+	}
+	if got := h.Sum(); got != sum {
+		t.Fatalf("sum = %d, want %d", got, sum)
+	}
+	if got := h.Max(); got != 1<<20 {
+		t.Fatalf("max = %d, want %d", got, 1<<20)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	// 1000 observations uniform in [1, 1000]: the q-quantile estimate must
+	// land within one log₂ bucket (factor of 2) of the true value.
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.5, 500}, {0.9, 900}, {0.99, 990}} {
+		got := float64(h.Quantile(tc.q))
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Errorf("q%.2f = %.0f, want within [%.0f, %.0f]",
+				tc.q, got, tc.want/2, tc.want*2)
+		}
+	}
+	// The estimate never exceeds the observed maximum.
+	if got := h.Quantile(1.0); got > h.Max() {
+		t.Fatalf("q1.0 = %d exceeds max %d", got, h.Max())
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	if bucketIndex(0) != 0 || bucketIndex(-5) != 0 {
+		t.Fatal("non-positive values must land in bucket 0")
+	}
+	if bucketIndex(1) != 1 || bucketIndex(2) != 2 || bucketIndex(3) != 2 || bucketIndex(4) != 3 {
+		t.Fatal("log2 bucket indexing is off")
+	}
+	if bucketIndex(math.MaxInt64) != 63 {
+		t.Fatalf("MaxInt64 bucket = %d, want 63", bucketIndex(math.MaxInt64))
+	}
+	if bucketUpper(63) != math.MaxInt64 {
+		t.Fatalf("bucketUpper(63) = %d, want MaxInt64", bucketUpper(63))
+	}
+}
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests handled.", L("op", "write"))
+	c.Add(7)
+	c2 := r.Counter("test_requests_total", "Requests handled.", L("op", "read"))
+	c2.Add(3)
+	g := r.Gauge("test_depth", "Queue depth.")
+	g.Set(5)
+	h := r.Histogram("test_latency_ns", "Latency.")
+	h.Observe(3) // bucket le=4
+	h.Observe(5) // bucket le=8
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP test_requests_total Requests handled.",
+		"# TYPE test_requests_total counter",
+		`test_requests_total{op="write"} 7`,
+		`test_requests_total{op="read"} 3`,
+		"# TYPE test_depth gauge",
+		"test_depth 5",
+		"# TYPE test_latency_ns histogram",
+		`test_latency_ns_bucket{le="4"} 1`,
+		`test_latency_ns_bucket{le="8"} 2`,
+		`test_latency_ns_bucket{le="+Inf"} 2`,
+		"test_latency_ns_sum 8",
+		"test_latency_ns_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A.").Add(9)
+	r.Histogram("b_ns", "B.").Observe(100)
+	r.GaugeFunc("c_bytes", "C.", func() int64 { return 77 })
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snaps []FamilySnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snaps); err != nil {
+		t.Fatalf("statz output is not valid JSON: %v", err)
+	}
+	if f := Find(snaps, "a_total"); f == nil || *f.Series[0].Value != 9 {
+		t.Fatalf("a_total snapshot wrong: %+v", f)
+	}
+	if f := Find(snaps, "b_ns"); f == nil || f.Series[0].Histogram.Count != 1 {
+		t.Fatalf("b_ns snapshot wrong: %+v", f)
+	}
+	if f := Find(snaps, "c_bytes"); f == nil || *f.Series[0].Value != 77 {
+		t.Fatalf("c_bytes snapshot wrong: %+v", f)
+	}
+}
+
+func TestRegistryConflicts(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister("x_total", "X.", &Counter{})
+	if err := r.Register("x_total", "X.", &Counter{}); err == nil {
+		t.Fatal("duplicate unlabeled series should fail")
+	}
+	if err := r.Register("x_total", "X.", &Gauge{}); err == nil {
+		t.Fatal("kind conflict should fail")
+	}
+	if err := r.Register("x_total", "X.", &Counter{}, L("op", "a")); err != nil {
+		t.Fatalf("new label set should register: %v", err)
+	}
+	if err := r.Register("x_total", "X.", &Counter{}, L("op", "a")); err == nil {
+		t.Fatal("duplicate labeled series should fail")
+	}
+	if err := r.Register("", "empty", &Counter{}); err == nil {
+		t.Fatal("empty name should fail")
+	}
+}
