@@ -7,12 +7,26 @@
 //
 // With -report > 0 a periodic stats line (ops, interval and cumulative
 // MiB/s) is printed to stderr while the run is in progress.
+//
+// Fault-tolerance knobs (for chaos runs against a fwdd -fault server):
+//
+//	fwdbench -deadline 2s -retries 8 -reconnect 8 -drop-every 500ms -metrics :9091
+//
+// -deadline bounds each op, -retries retries EAGAIN-shed ops with backoff,
+// -reconnect enables transport failover with idempotent replay, -drop-every
+// injects periodic connection drops on each client, and -metrics serves the
+// client-side fault counters (iofwd_retries_total, iofwd_timeouts_total,
+// iofwd_reconnects_total, ...) as Prometheus text on /metrics. Per-op I/O
+// errors are counted and reported instead of aborting the run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -24,8 +38,10 @@ import (
 // progress is the client-side telemetry the periodic reporter reads; the
 // worker goroutines bump it after every completed operation.
 var progress struct {
-	ops   telemetry.Counter
-	bytes telemetry.Counter
+	ops      telemetry.Counter
+	bytes    telemetry.Counter
+	errs     telemetry.Counter
+	deferred telemetry.Counter
 }
 
 // report prints one stats line per interval until stop is closed.
@@ -42,13 +58,32 @@ func report(interval time.Duration, start time.Time, stop <-chan struct{}) {
 			b, o := progress.bytes.Value(), progress.ops.Value()
 			dt := now.Sub(last).Seconds()
 			fmt.Fprintf(os.Stderr,
-				"t=%5.1fs ops=%-8d +%-6d %7.1f MiB/s (interval)  %7.1f MiB/s (cumulative)\n",
-				now.Sub(start).Seconds(), o, o-lastOps,
+				"t=%5.1fs ops=%-8d +%-6d errs=%-5d %7.1f MiB/s (interval)  %7.1f MiB/s (cumulative)\n",
+				now.Sub(start).Seconds(), o, o-lastOps, progress.errs.Value(),
 				float64(b-lastBytes)/dt/(1<<20),
 				float64(b)/now.Sub(start).Seconds()/(1<<20))
 			lastBytes, lastOps, last = b, o, now
 		}
 	}
+}
+
+// opDone records one finished operation; typed/deferred errors are counted
+// rather than aborting the run, so chaos benchmarks can measure goodput
+// under injected faults.
+func opDone(size int, err error) {
+	if err == nil {
+		progress.ops.Inc()
+		progress.bytes.Add(uint64(size))
+		return
+	}
+	var de *core.DeferredError
+	if errors.As(err, &de) {
+		progress.deferred.Inc()
+		progress.ops.Inc() // the current op itself was accepted
+		progress.bytes.Add(uint64(size))
+		return
+	}
+	progress.errs.Inc()
 }
 
 func main() {
@@ -58,7 +93,26 @@ func main() {
 	iters := flag.Int("iters", 100, "messages per client")
 	reads := flag.Bool("reads", false, "benchmark reads instead of writes")
 	reportEvery := flag.Duration("report", time.Second, "periodic stats-line interval on stderr (0 disables)")
+	deadline := flag.Duration("deadline", 0, "per-operation deadline (0 disables)")
+	retries := flag.Int("retries", 0, "max retries of EAGAIN-shed operations, with backoff")
+	reconnect := flag.Int("reconnect", 0, "max redial attempts per connection outage (0 disables failover)")
+	dropEvery := flag.Duration("drop-every", 0, "inject a connection drop on every client at this interval (chaos; needs -reconnect)")
+	seed := flag.Int64("seed", 1, "jitter/backoff RNG seed (reproducible chaos runs)")
+	metricsAddr := flag.String("metrics", "", "serve client-side fault counters on this address (/metrics, /statz); empty disables")
 	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/statz", reg.StatzHandler())
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("fwdbench: metrics listener: %v", err)
+		}
+		log.Printf("fwdbench: serving client /metrics on %s", ml.Addr())
+		go func() { _ = http.Serve(ml, mux) }()
+	}
 
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -66,62 +120,99 @@ func main() {
 	if *reportEvery > 0 {
 		go report(*reportEvery, start, stop)
 	}
+	var sharedOpts []core.Option
+	if *deadline > 0 {
+		sharedOpts = append(sharedOpts, core.WithTimeout(*deadline))
+	}
+	if *retries > 0 {
+		sharedOpts = append(sharedOpts, core.WithRetry(*retries, 0, 0))
+	}
+	if *reconnect > 0 {
+		sharedOpts = append(sharedOpts, core.WithReconnect(*reconnect))
+	}
 	for c := 0; c < *clients; c++ {
 		c := c
+		opts := append([]core.Option{core.WithSeed(*seed + int64(c))}, sharedOpts...)
+		if c == 0 {
+			// One client carries the registry: registered once, sampled as
+			// a representative of the fleet.
+			opts = append(opts, core.WithMetrics(reg))
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cl, err := core.Dial("tcp", *addr)
+			cl, err := core.Dial("tcp", *addr, opts...)
 			if err != nil {
 				log.Fatalf("client %d: %v", c, err)
 			}
 			defer cl.Close()
+			if *dropEvery > 0 {
+				chaosStop := make(chan struct{})
+				defer close(chaosStop)
+				go func() {
+					tick := time.NewTicker(*dropEvery)
+					defer tick.Stop()
+					for {
+						select {
+						case <-chaosStop:
+							return
+						case <-tick.C:
+							cl.DropConnection()
+						}
+					}
+				}()
+			}
 			f, err := cl.Open(fmt.Sprintf("bench/client%04d", c))
 			if err != nil {
-				log.Fatalf("client %d open: %v", c, err)
+				log.Printf("client %d open: %v", c, err)
+				progress.errs.Inc()
+				return
 			}
 			buf := make([]byte, *msg)
 			if *reads {
 				// Populate, then read back.
-				if _, err := f.Write(buf); err != nil {
-					log.Fatal(err)
+				if _, err := f.WriteAt(buf, 0); err != nil {
+					opDone(0, err)
 				}
 				if err := f.Sync(); err != nil {
-					log.Fatal(err)
+					opDone(0, err)
 				}
 				for i := 0; i < *iters; i++ {
-					if _, err := f.ReadAt(buf, 0); err != nil {
-						log.Fatalf("client %d read %d: %v", c, i, err)
-					}
-					progress.ops.Inc()
-					progress.bytes.Add(uint64(*msg))
+					_, err := f.ReadAt(buf, 0)
+					opDone(*msg, err)
 				}
 			} else {
 				for i := 0; i < *iters; i++ {
-					if _, err := f.Write(buf); err != nil {
-						log.Fatalf("client %d write %d: %v", c, i, err)
+					// With failover enabled, use positional writes: they
+					// are idempotent and survive connection drops via
+					// replay. Otherwise keep the paper's cursor writes.
+					var err error
+					if *reconnect > 0 {
+						_, err = f.WriteAt(buf, int64(i)*int64(*msg))
+					} else {
+						_, err = f.Write(buf)
 					}
-					progress.ops.Inc()
-					progress.bytes.Add(uint64(*msg))
+					opDone(*msg, err)
 				}
 				if err := f.Sync(); err != nil {
-					log.Fatalf("client %d sync: %v", c, err)
+					opDone(0, err)
 				}
 			}
 			if err := f.Close(); err != nil {
-				log.Fatalf("client %d close: %v", c, err)
+				opDone(0, err)
 			}
 		}()
 	}
 	wg.Wait()
 	close(stop)
 	elapsed := time.Since(start)
-	total := int64(*clients) * int64(*iters) * int64(*msg)
+	total := int64(progress.bytes.Value())
 	op := "writes"
 	if *reads {
 		op = "reads"
 	}
-	fmt.Printf("%d clients x %d %s of %d bytes: %.1f MiB/s aggregate (%.2fs)\n",
+	fmt.Printf("%d clients x %d %s of %d bytes: %.1f MiB/s aggregate (%.2fs), %d ok, %d errors, %d deferred\n",
 		*clients, *iters, op, *msg,
-		float64(total)/elapsed.Seconds()/(1<<20), elapsed.Seconds())
+		float64(total)/elapsed.Seconds()/(1<<20), elapsed.Seconds(),
+		progress.ops.Value(), progress.errs.Value(), progress.deferred.Value())
 }

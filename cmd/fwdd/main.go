@@ -5,6 +5,12 @@
 //	fwdd -listen :7070 -mode direct -backend null
 //	fwdd -listen :7070 -metrics :9090   # Prometheus /metrics + JSON /statz
 //
+// Fault tolerance and chaos:
+//
+//	fwdd -queue-hw 4096          # shed data ops with EAGAIN past this queue depth
+//	fwdd -bml-timeout 2s         # degrade writes to the sync path on BML exhaustion
+//	fwdd -fault err=0.01,lat=0.05:5ms,stall=0.001:250ms,short=0.005,panic=1000,seed=42
+//
 // On SIGINT/SIGTERM the daemon stops accepting, drains the work queue
 // (flushing staged writes), prints a final metrics snapshot to stderr, and
 // exits.
@@ -21,6 +27,8 @@ import (
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/core/fault"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +41,9 @@ func main() {
 	root := flag.String("root", ".", "root directory for -backend file")
 	sinkMiBps := flag.Int64("sink-rate", 100, "bandwidth in MiB/s for -backend sink")
 	metricsAddr := flag.String("metrics", "", "address for the observability HTTP listener serving /metrics (Prometheus text) and /statz (JSON); empty disables")
+	queueHW := flag.Int("queue-hw", 0, "work-queue high-water mark: shed data ops with EAGAIN past this depth (0 disables)")
+	bmlTimeout := flag.Duration("bml-timeout", 0, "staging-pool admission timeout: past it writes degrade to the synchronous path (0 blocks forever)")
+	faultSpec := flag.String("fault", "", "chaos backend spec, e.g. err=0.01,lat=0.05:5ms,stall=0.001:250ms,short=0.005,panic=1000,seed=42 (empty disables)")
 	flag.Parse()
 
 	var m core.Mode
@@ -63,12 +74,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := telemetry.NewRegistry()
+	if *faultSpec != "" {
+		cfg, err := fault.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fwdd: %v\n", err)
+			os.Exit(2)
+		}
+		fb := fault.New(backend, cfg)
+		fb.Register(reg)
+		backend = fb
+		log.Printf("fwdd: chaos backend enabled: %s", *faultSpec)
+	}
+
 	srv := core.NewServer(core.Config{
-		Mode:     m,
-		Workers:  *workers,
-		Batch:    *batch,
-		BMLBytes: *bmlMiB << 20,
-		Backend:  backend,
+		Mode:           m,
+		Workers:        *workers,
+		Batch:          *batch,
+		BMLBytes:       *bmlMiB << 20,
+		Backend:        backend,
+		Metrics:        reg,
+		QueueHighWater: *queueHW,
+		BMLTimeout:     *bmlTimeout,
 	})
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

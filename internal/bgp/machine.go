@@ -45,10 +45,10 @@ type DANode struct {
 // sink nodes, and the parameter table. File server nodes live in
 // internal/storage and attach via the same external network.
 type Machine struct {
-	Eng    *sim.Engine
-	P      Params
-	Psets  []*Pset
-	DAs    []*DANode
+	Eng   *sim.Engine
+	P     Params
+	Psets []*Pset
+	DAs   []*DANode
 }
 
 // Config selects the machine slice to build.

@@ -151,9 +151,9 @@ func Default() Params {
 		ReplyBytes:    64,
 		CNOverhead:    20 * sim.Microsecond,
 
-		IONCores:  4,
-		IONShare:  0.186,
-		IONSwitch: 0.006,
+		IONCores:         4,
+		IONShare:         0.186,
+		IONSwitch:        0.006,
 		TreeDevBandwidth: 2500.0 * MiB,
 		// 1/(1800 MiB/s): one memcpy at roughly half of memory bandwidth.
 		IONCopyCost: 1.0 / (1800.0 * MiB),
@@ -164,9 +164,9 @@ func Default() Params {
 		IONWorkerDispatchCPU: 6e-6,
 		IONNullWriteCPU:      3e-6,
 
-		ExtBandwidth: 1.25e9,
-		ExtPayload:   1460,
-		ExtOverhead:  78,
+		ExtBandwidth:   1.25e9,
+		ExtPayload:     1460,
+		ExtOverhead:    78,
 		ExtLatency:     90 * sim.Microsecond,
 		SockBufBytes:   512 * 1024,
 		SockChunkBytes: 128 * 1024,

@@ -178,7 +178,7 @@ func (h osHandle) ReadAt(b []byte, off int64) (int, error) {
 	}
 	return n, err
 }
-func (h osHandle) Sync() error          { return h.f.Sync() }
+func (h osHandle) Sync() error { return h.f.Sync() }
 func (h osHandle) Size() (int64, error) {
 	st, err := h.f.Stat()
 	if err != nil {

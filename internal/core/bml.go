@@ -12,15 +12,21 @@ import (
 // BML is the buffer management layer (paper Section IV): a capacity-bounded
 // pool of power-of-2-sized staging buffers. Get blocks while the pool is
 // exhausted — the paper's back-pressure rule for asynchronous staging — and
-// Put returns a buffer for reuse.
+// Put returns a buffer for reuse. GetTimeout bounds the admission wait so a
+// server can degrade to the synchronous path instead of blocking forever on
+// exhaustion.
 type BML struct {
 	capacity int64
 	minClass int64
 
-	mu   sync.Mutex
-	cond *sync.Cond
-	used int64
-	free map[int64][][]byte // class size -> stack of free buffers
+	mu      sync.Mutex
+	used    int64
+	free    map[int64][][]byte // class size -> stack of free buffers
+	waiters int
+	// waitc is closed (and replaced) on every Put while waiters exist; it
+	// is the broadcast that replaces sync.Cond so admission waits can be
+	// combined with a timeout in a select.
+	waitc chan struct{}
 
 	// Counters are telemetry atomics so snapshot reads are race-free and
 	// the registry exports the same values BMLStats reports (one source of
@@ -28,6 +34,7 @@ type BML struct {
 	allocs    telemetry.Counter
 	fresh     telemetry.Counter
 	stalls    telemetry.Counter
+	timeouts  telemetry.Counter
 	peak      telemetry.MaxGauge
 	stallWait telemetry.Histogram
 }
@@ -41,6 +48,8 @@ type BMLStats struct {
 	Fresh uint64
 	// Stalls counts Gets that had to wait for capacity.
 	Stalls uint64
+	// Timeouts counts GetTimeout calls that gave up waiting.
+	Timeouts uint64
 	// Peak is the high-water mark of reserved bytes.
 	Peak int64
 }
@@ -53,9 +62,12 @@ func NewBML(capacity int64) *BML {
 	if capacity < minBMLClass {
 		panic(fmt.Sprintf("core: BML capacity %d below minimum class", capacity))
 	}
-	b := &BML{capacity: capacity, minClass: minBMLClass, free: make(map[int64][][]byte)}
-	b.cond = sync.NewCond(&b.mu)
-	return b
+	return &BML{
+		capacity: capacity,
+		minClass: minBMLClass,
+		free:     make(map[int64][][]byte),
+		waitc:    make(chan struct{}),
+	}
 }
 
 // Capacity returns the configured pool size.
@@ -71,10 +83,11 @@ func (b *BML) Used() int64 {
 // Stats returns a snapshot of the pool counters.
 func (b *BML) Stats() BMLStats {
 	return BMLStats{
-		Allocs: b.allocs.Value(),
-		Fresh:  b.fresh.Value(),
-		Stalls: b.stalls.Value(),
-		Peak:   b.peak.Value(),
+		Allocs:   b.allocs.Value(),
+		Fresh:    b.fresh.Value(),
+		Stalls:   b.stalls.Value(),
+		Timeouts: b.timeouts.Value(),
+		Peak:     b.peak.Value(),
 	}
 }
 
@@ -90,6 +103,15 @@ func classFor(n int) int64 {
 // Get returns a buffer whose capacity is the power-of-2 class holding n,
 // sliced to length n. It blocks while the pool is at capacity.
 func (b *BML) Get(n int) []byte {
+	buf, _ := b.GetTimeout(n, 0)
+	return buf
+}
+
+// GetTimeout is Get with a bounded admission wait: if the pool cannot admit
+// the request within d it returns (nil, false) and the caller must degrade
+// (the server falls back to an unpooled buffer and the synchronous write
+// path). d <= 0 waits forever, matching Get.
+func (b *BML) GetTimeout(n int, d time.Duration) ([]byte, bool) {
 	c := classFor(n)
 	if c > b.capacity {
 		panic(fmt.Sprintf("core: buffer class %d exceeds BML capacity %d", c, b.capacity))
@@ -99,8 +121,29 @@ func (b *BML) Get(n int) []byte {
 		// Allocation stall: the paper's back-pressure rule. Time the wait
 		// so the stall distribution is visible next to the stall count.
 		t0 := time.Now()
+		var deadline <-chan time.Time
+		if d > 0 {
+			timer := time.NewTimer(d)
+			defer timer.Stop()
+			deadline = timer.C
+		}
 		for b.used+c > b.capacity {
-			b.cond.Wait()
+			ch := b.waitc
+			b.waiters++
+			b.mu.Unlock()
+			select {
+			case <-ch:
+				b.mu.Lock()
+				b.waiters--
+			case <-deadline:
+				b.mu.Lock()
+				b.waiters--
+				b.mu.Unlock()
+				b.timeouts.Inc()
+				b.stalls.Inc()
+				b.stallWait.Observe(time.Since(t0).Nanoseconds())
+				return nil, false
+			}
 		}
 		b.stalls.Inc()
 		b.stallWait.Observe(time.Since(t0).Nanoseconds())
@@ -120,7 +163,7 @@ func (b *BML) Get(n int) []byte {
 	if buf == nil {
 		buf = make([]byte, c)
 	}
-	return buf[:n]
+	return buf[:n], true
 }
 
 // Put returns a buffer obtained from Get. The buffer must not be used after
@@ -140,6 +183,9 @@ func (b *BML) Put(buf []byte) {
 	}
 	b.used -= c
 	b.free[c] = append(b.free[c], buf[:c])
+	if b.waiters > 0 {
+		close(b.waitc)
+		b.waitc = make(chan struct{})
+	}
 	b.mu.Unlock()
-	b.cond.Broadcast()
 }

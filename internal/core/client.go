@@ -3,24 +3,69 @@ package core
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Client is the compute-node side of the forwarding protocol — the role of
 // the compute node kernel, which ships every I/O call to the I/O node. A
 // Client multiplexes concurrent requests from many goroutines over one
 // connection.
+//
+// With options the Client is fault-tolerant: WithTimeout bounds every
+// operation, WithRetry retries operations the server shed with EAGAIN, and
+// WithReconnect/WithRedial re-establish a failed transport with exponential
+// backoff plus jitter, re-open the descriptors that were open, and replay
+// idempotent in-flight operations (Pread/Pwrite/Stat, keyed by request id).
+// Non-idempotent in-flight operations fail fast with ErrConnectionLost.
 type Client struct {
-	nc net.Conn
+	opts clientOptions
+	met  clientMetrics
 
-	wmu sync.Mutex // serializes request frames
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	wmu sync.Mutex // serializes request frames on the current conn
 
 	mu      sync.Mutex
+	nc      net.Conn
+	gen     uint64 // connection generation, bumped on every failover
 	nextID  uint64
-	pending map[uint64]chan *response
-	readErr error
-	done    chan struct{}
+	nextFD  uint64
+	pending map[uint64]*pendingCall
+	files   map[uint64]*openFile // client-visible fd -> remote state
+	ready   chan struct{}        // closed while a conn is installed
+	lastErr error                // terminal failure; nil while usable
+	closed  bool
+}
+
+// openFile tracks one client-visible descriptor so it can be re-opened on a
+// fresh connection after failover. serverFD is the descriptor on the
+// *current* connection; it equals the client fd until the first reconnect.
+type openFile struct {
+	name     string
+	serverFD uint64
+}
+
+// pendingCall is one in-flight request. The original arguments are retained
+// so idempotent calls can be replayed verbatim on a new connection.
+type pendingCall struct {
+	ch      chan callResult
+	op      Op
+	fd      uint64 // client-visible fd
+	offset  uint64
+	length  uint32
+	path    string
+	payload []byte
+}
+
+type callResult struct {
+	resp *response
+	err  error
 }
 
 type response struct {
@@ -30,96 +75,464 @@ type response struct {
 	payload []byte
 }
 
-// Dial connects to a forwarding server.
-func Dial(network, addr string) (*Client, error) {
+// clientOptions collects the tunables; the zero value reproduces the
+// original non-resilient client exactly.
+type clientOptions struct {
+	timeout           time.Duration
+	maxRetries        int
+	retryBase         time.Duration
+	retryMax          time.Duration
+	redial            func() (net.Conn, error)
+	reconnectAttempts int
+	seed              int64
+	reg               *telemetry.Registry
+}
+
+// clientMetrics are the client-side fault counters; they are always counted
+// and additionally exported when WithMetrics supplies a registry.
+type clientMetrics struct {
+	retries    telemetry.Counter
+	timeouts   telemetry.Counter
+	reconnects telemetry.Counter
+	replays    telemetry.Counter
+	lostOps    telemetry.Counter
+}
+
+func (m *clientMetrics) register(reg *telemetry.Registry) {
+	reg.MustRegister("iofwd_retries_total",
+		"Operations retried by the client (EAGAIN backoff retries and post-reconnect replays).", &m.retries)
+	reg.MustRegister("iofwd_timeouts_total",
+		"Operations abandoned because the per-op deadline expired.", &m.timeouts)
+	reg.MustRegister("iofwd_reconnects_total",
+		"Successful transport re-establishments after a connection failure.", &m.reconnects)
+	reg.MustRegister("iofwd_replays_total",
+		"Idempotent in-flight operations replayed on a fresh connection.", &m.replays)
+	reg.MustRegister("iofwd_lost_ops_total",
+		"Non-idempotent in-flight operations failed with ErrConnectionLost on a connection failure.", &m.lostOps)
+}
+
+// Option configures a Client.
+type Option func(*clientOptions)
+
+// WithTimeout bounds every operation: a call that has not completed within d
+// fails with an error wrapping ErrOpTimeout. The deadline covers EAGAIN
+// retries and reconnect waits.
+func WithTimeout(d time.Duration) Option {
+	return func(o *clientOptions) { o.timeout = d }
+}
+
+// WithRetry lets the client retry operations the server shed with EAGAIN up
+// to max times, sleeping an exponentially growing, jittered delay between
+// attempts (base doubling per attempt, capped at maxDelay).
+func WithRetry(max int, base, maxDelay time.Duration) Option {
+	return func(o *clientOptions) {
+		o.maxRetries = max
+		if base > 0 {
+			o.retryBase = base
+		}
+		if maxDelay > 0 {
+			o.retryMax = maxDelay
+		}
+	}
+}
+
+// WithReconnect enables transport failover with up to attempts redial
+// attempts per outage. Dial installs a redialer to the original address
+// automatically; NewClient users must also supply WithRedial.
+func WithReconnect(attempts int) Option {
+	return func(o *clientOptions) { o.reconnectAttempts = attempts }
+}
+
+// WithRedial supplies the function used to obtain a replacement connection
+// after a transport failure (and enables reconnection if WithReconnect was
+// not given).
+func WithRedial(f func() (net.Conn, error)) Option {
+	return func(o *clientOptions) { o.redial = f }
+}
+
+// WithSeed fixes the jitter RNG so chaos tests get a reproducible backoff
+// schedule.
+func WithSeed(seed int64) Option {
+	return func(o *clientOptions) { o.seed = seed }
+}
+
+// WithMetrics registers the client's fault counters (iofwd_retries_total,
+// iofwd_timeouts_total, iofwd_reconnects_total, ...) on reg.
+func WithMetrics(reg *telemetry.Registry) Option {
+	return func(o *clientOptions) { o.reg = reg }
+}
+
+// Dial connects to a forwarding server. When WithReconnect is given, a
+// redialer to the same address is installed automatically (unless WithRedial
+// overrides it).
+func Dial(network, addr string, opts ...Option) (*Client, error) {
 	nc, err := net.Dial(network, addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(nc), nil
+	var o clientOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.reconnectAttempts > 0 && o.redial == nil {
+		opts = append(opts, WithRedial(func() (net.Conn, error) {
+			return net.Dial(network, addr)
+		}))
+	}
+	return NewClient(nc, opts...), nil
 }
 
 // NewClient wraps an established connection (TCP, Unix socket, or one end
 // of a net.Pipe).
-func NewClient(nc net.Conn) *Client {
-	c := &Client{nc: nc, nextID: 1, pending: make(map[uint64]chan *response), done: make(chan struct{})}
-	go c.readLoop()
+func NewClient(nc net.Conn, opts ...Option) *Client {
+	o := clientOptions{
+		retryBase:         5 * time.Millisecond,
+		retryMax:          250 * time.Millisecond,
+		reconnectAttempts: 0,
+		seed:              1,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.redial != nil && o.reconnectAttempts <= 0 {
+		o.reconnectAttempts = 8
+	}
+	c := &Client{
+		opts:    o,
+		rng:     rand.New(rand.NewSource(o.seed)),
+		nc:      nc,
+		nextID:  1,
+		nextFD:  3, // mirrors the server's numbering until the first failover
+		pending: make(map[uint64]*pendingCall),
+		files:   make(map[uint64]*openFile),
+		ready:   make(chan struct{}),
+	}
+	close(c.ready)
+	if o.reg != nil {
+		c.met.register(o.reg)
+	}
+	go c.readLoop(nc, c.gen)
 	return c
 }
 
-// readLoop demultiplexes responses to their callers by request id.
-func (c *Client) readLoop() {
+// Metrics returns a snapshot of the client-side fault counters:
+// retries, timeouts, reconnects, replays, lost ops.
+func (c *Client) Metrics() (retries, timeouts, reconnects, replays, lost uint64) {
+	return c.met.retries.Value(), c.met.timeouts.Value(), c.met.reconnects.Value(),
+		c.met.replays.Value(), c.met.lostOps.Value()
+}
+
+// readLoop demultiplexes responses to their callers by request id. One loop
+// runs per connection generation; a stale loop exits silently.
+func (c *Client) readLoop(nc net.Conn, gen uint64) {
 	var h header
 	for {
-		if err := readHeader(c.nc, &h); err != nil {
-			c.fail(err)
+		if err := readHeader(nc, &h); err != nil {
+			c.connFailed(gen, err)
 			return
 		}
 		var payload []byte
 		if h.length > 0 {
 			payload = make([]byte, h.length)
-			if _, err := io.ReadFull(c.nc, payload); err != nil {
-				c.fail(err)
+			if _, err := io.ReadFull(nc, payload); err != nil {
+				c.connFailed(gen, err)
 				return
 			}
 		}
 		c.mu.Lock()
-		ch := c.pending[h.reqID]
+		if c.gen != gen {
+			c.mu.Unlock()
+			return
+		}
+		pc := c.pending[h.reqID]
 		delete(c.pending, h.reqID)
 		c.mu.Unlock()
-		if ch != nil {
-			ch <- &response{flags: h.flags, errno: Errno(h.pathLen), value: int64(h.offset), payload: payload}
+		if pc != nil {
+			pc.ch <- callResult{resp: &response{
+				flags: h.flags, errno: Errno(h.pathLen), value: int64(h.offset), payload: payload,
+			}}
 		}
 	}
 }
 
-// fail terminates every pending call with err.
-func (c *Client) fail(err error) {
-	c.mu.Lock()
-	if c.readErr == nil {
-		c.readErr = err
-		close(c.done)
+// idempotentOp reports whether an in-flight op may be replayed on a fresh
+// connection without risking duplicate effects: positional reads and writes
+// and stat are safe; cursor ops, open/close/fsync/flush/errpoll are not
+// (cursor position and deferred-error state do not survive failover).
+func idempotentOp(op Op) bool {
+	switch op {
+	case OpPread, OpPwrite, OpStat:
+		return true
 	}
-	pend := c.pending
-	c.pending = make(map[uint64]chan *response)
+	return false
+}
+
+// connFailed handles a transport failure observed on generation gen: it
+// either fails everything (no redialer / client closed) or starts a
+// reconnect, failing non-idempotent in-flight ops fast and keeping
+// idempotent ones for replay.
+func (c *Client) connFailed(gen uint64, cause error) {
+	c.mu.Lock()
+	if c.gen != gen || c.lastErr != nil {
+		c.mu.Unlock()
+		return
+	}
+	_ = c.nc.Close()
+	if c.closed {
+		c.failLocked(fmt.Errorf("%w: %v", ErrClientClosed, cause))
+		c.mu.Unlock()
+		return
+	}
+	if c.opts.redial == nil {
+		c.failLocked(fmt.Errorf("%w: %v", ErrConnectionLost, cause))
+		c.mu.Unlock()
+		return
+	}
+	// Failover: invalidate the generation, block new calls on a fresh
+	// ready gate, split the in-flight set.
+	c.gen++
+	c.ready = make(chan struct{})
+	var replay []*pendingCall
+	var replayIDs []uint64
+	for id, pc := range c.pending {
+		if idempotentOp(pc.op) {
+			replay = append(replay, pc)
+			replayIDs = append(replayIDs, id)
+			continue
+		}
+		delete(c.pending, id)
+		c.met.lostOps.Inc()
+		pc.ch <- callResult{err: fmt.Errorf("%w: %v", ErrConnectionLost, cause)}
+	}
+	files := make([]*openFile, 0, len(c.files))
+	for _, f := range c.files {
+		files = append(files, f)
+	}
 	c.mu.Unlock()
-	for _, ch := range pend {
-		close(ch)
+	go c.reconnect(cause, files, replay, replayIDs)
+}
+
+// failLocked delivers a terminal error to every in-flight call and to all
+// future calls. Callers hold c.mu.
+func (c *Client) failLocked(err error) {
+	c.lastErr = err
+	for id, pc := range c.pending {
+		delete(c.pending, id)
+		pc.ch <- callResult{err: err}
+	}
+	select {
+	case <-c.ready:
+	default:
+		close(c.ready) // wake calls parked on the reconnect gate
 	}
 }
 
-// call sends one request and waits for its response.
-func (c *Client) call(op Op, fd uint64, offset uint64, length uint32, path string, payload []byte) (*response, error) {
-	ch := make(chan *response, 1)
-	c.mu.Lock()
-	if c.readErr != nil {
-		err := c.readErr
+// backoff returns the jittered exponential delay for 1-based attempt k:
+// base·2^(k-1) capped at max, scaled by a uniform factor in [0.5, 1.5).
+func (c *Client) backoff(k int, base, max time.Duration) time.Duration {
+	d := base << uint(k-1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	c.rngMu.Lock()
+	f := 0.5 + c.rng.Float64()
+	c.rngMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// reconnect re-establishes the transport with exponential backoff + jitter,
+// re-opens every descriptor the client holds, installs the new connection,
+// and replays the retained idempotent in-flight calls.
+func (c *Client) reconnect(cause error, files []*openFile, replay []*pendingCall, replayIDs []uint64) {
+	for attempt := 1; attempt <= c.opts.reconnectAttempts; attempt++ {
+		time.Sleep(c.backoff(attempt, c.opts.retryBase, c.opts.retryMax))
+		c.mu.Lock()
+		if c.closed || c.lastErr != nil {
+			c.mu.Unlock()
+			return
+		}
 		c.mu.Unlock()
-		return nil, fmt.Errorf("core: connection failed: %w", err)
+		nc, err := c.opts.redial()
+		if err != nil {
+			continue
+		}
+		if err := reopenFiles(nc, files); err != nil {
+			_ = nc.Close()
+			continue
+		}
+		// Install the new connection and release parked callers.
+		c.mu.Lock()
+		if c.closed || c.lastErr != nil {
+			c.mu.Unlock()
+			_ = nc.Close()
+			return
+		}
+		c.nc = nc
+		c.gen++
+		gen := c.gen
+		close(c.ready)
+		c.mu.Unlock()
+		c.met.reconnects.Inc()
+		go c.readLoop(nc, gen)
+		// Replay idempotent in-flight ops with their original request ids;
+		// responses route through the new readLoop to the original callers.
+		for i, pc := range replay {
+			c.met.retries.Inc()
+			c.met.replays.Inc()
+			if err := c.send(nc, replayIDs[i], pc); err != nil {
+				// The fresh connection died already; its readLoop will
+				// drive the next failover, which re-collects this pending.
+				break
+			}
+		}
+		return
+	}
+	c.mu.Lock()
+	c.failLocked(fmt.Errorf("%w: reconnect failed after %d attempts: %v",
+		ErrConnectionLost, c.opts.reconnectAttempts, cause))
+	c.mu.Unlock()
+}
+
+// reopenFiles performs a synchronous open exchange for every retained
+// descriptor on a candidate connection, before any readLoop owns it.
+// Request ids live far above the call namespace to stay unique.
+func reopenFiles(nc net.Conn, files []*openFile) error {
+	id := uint64(1) << 62
+	var h header
+	for _, f := range files {
+		id++
+		req := header{op: OpOpen, reqID: id, pathLen: uint16(len(f.name))}
+		if err := writeFrame(nc, &req, []byte(f.name)); err != nil {
+			return err
+		}
+		if err := readHeader(nc, &h); err != nil {
+			return err
+		}
+		if h.length > 0 {
+			if _, err := io.CopyN(io.Discard, nc, int64(h.length)); err != nil {
+				return err
+			}
+		}
+		if Errno(h.pathLen) != EOK {
+			return Errno(h.pathLen)
+		}
+		f.serverFD = h.offset
+	}
+	return nil
+}
+
+// send writes one request frame (with the fd translated to the current
+// connection's descriptor) under the write mutex.
+func (c *Client) send(nc net.Conn, id uint64, pc *pendingCall) error {
+	fd := pc.fd
+	c.mu.Lock()
+	if f, ok := c.files[pc.fd]; ok {
+		fd = f.serverFD
+	}
+	c.mu.Unlock()
+	h := header{op: pc.op, reqID: id, fd: fd, offset: pc.offset,
+		length: pc.length, pathLen: uint16(len(pc.path))}
+	c.wmu.Lock()
+	err := writeFrame(nc, &h, []byte(pc.path), pc.payload)
+	c.wmu.Unlock()
+	return err
+}
+
+// call sends one request and waits for its response, applying the per-op
+// deadline and retrying EAGAIN (shed) responses with backoff for safely
+// retryable data operations.
+func (c *Client) call(op Op, fd uint64, offset uint64, length uint32, path string, payload []byte) (*response, error) {
+	var deadline <-chan time.Time
+	if c.opts.timeout > 0 {
+		timer := time.NewTimer(c.opts.timeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	for attempt := 0; ; attempt++ {
+		r, err := c.callOnce(op, fd, offset, length, path, payload, deadline)
+		if err != nil {
+			return nil, err
+		}
+		if r.errno != EAGAIN || attempt >= c.opts.maxRetries || !retryableErrno(op) {
+			return r, nil
+		}
+		c.met.retries.Inc()
+		wait := time.NewTimer(c.backoff(attempt+1, c.opts.retryBase, c.opts.retryMax))
+		select {
+		case <-wait.C:
+		case <-deadline:
+			wait.Stop()
+			c.met.timeouts.Inc()
+			return nil, fmt.Errorf("%w: %s retried past the %v deadline", ErrOpTimeout, op, c.opts.timeout)
+		}
+	}
+}
+
+// retryableErrno reports whether an EAGAIN reply to op is safe to reissue:
+// the server sheds before reserving a cursor or staging anything, so every
+// data operation qualifies.
+func retryableErrno(op Op) bool {
+	switch op {
+	case OpWrite, OpPwrite, OpRead, OpPread, OpStat:
+		return true
+	}
+	return false
+}
+
+// callOnce performs a single request/response exchange.
+func (c *Client) callOnce(op Op, fd uint64, offset uint64, length uint32, path string, payload []byte, deadline <-chan time.Time) (*response, error) {
+	pc := &pendingCall{
+		ch: make(chan callResult, 1),
+		op: op, fd: fd, offset: offset, length: length, path: path, payload: payload,
+	}
+	// Admission: wait for an installed connection (reconnects park callers
+	// here) or a terminal error, then register the call under the lock.
+	c.mu.Lock()
+	for {
+		if c.lastErr != nil {
+			err := c.lastErr
+			c.mu.Unlock()
+			return nil, err
+		}
+		ready := c.ready
+		select {
+		case <-ready:
+		default:
+			c.mu.Unlock()
+			select {
+			case <-ready:
+			case <-deadline:
+				c.met.timeouts.Inc()
+				return nil, fmt.Errorf("%w: %s waited %v for reconnection", ErrOpTimeout, op, c.opts.timeout)
+			}
+			c.mu.Lock()
+			continue
+		}
+		break
 	}
 	id := c.nextID
 	c.nextID++
-	c.pending[id] = ch
+	c.pending[id] = pc
+	nc := c.nc
+	gen := c.gen
 	c.mu.Unlock()
 
-	h := header{op: op, reqID: id, fd: fd, offset: offset, length: length, pathLen: uint16(len(path))}
-	c.wmu.Lock()
-	err := writeFrame(c.nc, &h, []byte(path), payload)
-	c.wmu.Unlock()
-	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return nil, err
+	if err := c.send(nc, id, pc); err != nil {
+		// A write failure is a transport failure: let connFailed decide the
+		// outcome of this call (replay or typed error) like any other
+		// in-flight op, then wait for it.
+		c.connFailed(gen, err)
 	}
-	resp, ok := <-ch
-	if !ok {
+	select {
+	case res := <-pc.ch:
+		return res.resp, res.err
+	case <-deadline:
 		c.mu.Lock()
-		err := c.readErr
+		delete(c.pending, id) // a late response is dropped by readLoop
 		c.mu.Unlock()
-		return nil, fmt.Errorf("core: connection failed: %w", err)
+		c.met.timeouts.Inc()
+		return nil, fmt.Errorf("%w: %s after %v", ErrOpTimeout, op, c.opts.timeout)
 	}
-	return resp, nil
 }
 
 // respErr converts a response's status into a Go error, reconstructing
@@ -146,7 +559,12 @@ func (c *Client) Open(name string) (*File, error) {
 	if r.errno != EOK {
 		return nil, r.errno
 	}
-	return &File{c: c, fd: uint64(r.value), name: name}, nil
+	c.mu.Lock()
+	fd := c.nextFD
+	c.nextFD++
+	c.files[fd] = &openFile{name: name, serverFD: uint64(r.value)}
+	c.mu.Unlock()
+	return &File{c: c, fd: fd, name: name}, nil
 }
 
 // Flush blocks until every staged operation on this connection has
@@ -159,12 +577,33 @@ func (c *Client) Flush() error {
 	return respErr(0, r)
 }
 
+// DropConnection forcibly closes the client's transport without closing the
+// Client — a network-failure injection hook for chaos testing (see
+// cmd/fwdbench -drop-every). With reconnection enabled the client redials,
+// re-opens its descriptors, and replays idempotent in-flight operations.
+func (c *Client) DropConnection() {
+	c.mu.Lock()
+	nc := c.nc
+	c.mu.Unlock()
+	if nc != nil {
+		_ = nc.Close()
+	}
+}
+
 // Close tears down the connection. Outstanding staged writes are drained by
-// the server before their descriptors disappear.
+// the server before their descriptors disappear. Calls after Close fail
+// with an error wrapping ErrClientClosed.
 func (c *Client) Close() error {
-	err := c.nc.Close()
-	c.fail(ECLOSED)
-	return err
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	nc := c.nc
+	c.failLocked(fmt.Errorf("%w: %v", ErrClientClosed, ECLOSED))
+	c.mu.Unlock()
+	return nc.Close()
 }
 
 // File is an open remote descriptor.
@@ -192,7 +631,9 @@ func (f *File) Write(b []byte) (int, error) {
 	return int(r.value), respErr(f.fd, r)
 }
 
-// WriteAt writes b at the given offset.
+// WriteAt writes b at the given offset. WriteAt is idempotent: after a
+// connection failure with reconnection enabled, an in-flight WriteAt is
+// replayed on the new connection instead of failing.
 func (f *File) WriteAt(b []byte, off int64) (int, error) {
 	if len(b) > MaxPayload || off < 0 {
 		return 0, EINVAL
@@ -217,7 +658,8 @@ func (f *File) Read(b []byte) (int, error) {
 	return copy(b, r.payload), respErr(f.fd, r)
 }
 
-// ReadAt fills b from the given offset.
+// ReadAt fills b from the given offset. ReadAt is idempotent and replayed
+// across reconnects like WriteAt.
 func (f *File) ReadAt(b []byte, off int64) (int, error) {
 	if len(b) > MaxPayload || off < 0 {
 		return 0, EINVAL
@@ -265,5 +707,8 @@ func (f *File) Close() error {
 	if err != nil {
 		return err
 	}
+	f.c.mu.Lock()
+	delete(f.c.files, f.fd)
+	f.c.mu.Unlock()
 	return respErr(f.fd, r)
 }

@@ -18,6 +18,10 @@ const (
 	ENOSPC
 	ECLOSED
 	EEXIST
+	// EAGAIN is the overload-shedding code: the server refused the
+	// operation before taking any side effect (no cursor movement, no
+	// staging), so the client may safely retry it after a backoff.
+	EAGAIN
 )
 
 func (e Errno) Error() string {
@@ -38,9 +42,29 @@ func (e Errno) Error() string {
 		return "connection closed"
 	case EEXIST:
 		return "already exists"
+	case EAGAIN:
+		return "server overloaded, try again"
 	}
 	return fmt.Sprintf("errno(%d)", uint16(e))
 }
+
+// Typed client-side failure roots. They are wrapped (with the underlying
+// cause) into the errors the Client returns, so callers can classify
+// failures with errors.Is without string matching.
+var (
+	// ErrConnectionLost reports that the transport failed while the
+	// operation was in flight (or before it could be sent) and the
+	// operation was not safely replayable. Whether the server executed it
+	// is unknown.
+	ErrConnectionLost = errors.New("core: connection lost")
+	// ErrClientClosed reports that the Client was closed locally by Close.
+	ErrClientClosed = errors.New("core: client closed")
+	// ErrOpTimeout reports that a per-operation deadline (WithTimeout)
+	// expired before the response arrived. The operation may still execute
+	// on the server; only idempotent positional operations should be
+	// reissued.
+	ErrOpTimeout = errors.New("core: operation deadline exceeded")
+)
 
 // toErrno maps a backend error onto a wire code.
 func toErrno(err error) Errno {

@@ -1,0 +1,294 @@
+// Package fault wraps a core.Backend with deterministic, seeded fault
+// injection — the failure-testing layer DESIGN.md §8 calls for. It can
+// inject transient I/O errors, added latency, long stalls, short
+// reads/writes, and worker panics, with per-kind probabilities drawn from a
+// single seeded schedule so chaos runs are reproducible.
+//
+// The injected failures model what the paper's hardware hid: a GPFS mount
+// hiccuping under load, a congested external link, a wedged file server,
+// and plain software bugs in the backend.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Config selects what to inject. All rates are probabilities in [0, 1]
+// evaluated independently per data operation, drawn in a fixed order from
+// one seeded RNG, so a given (Seed, op sequence) pair always yields the
+// same fault schedule.
+type Config struct {
+	// Seed fixes the injection schedule; 0 means seed 1.
+	Seed int64
+	// ErrRate is the probability a data op fails with EIO.
+	ErrRate float64
+	// LatencyRate is the probability Latency is added to a data op.
+	LatencyRate float64
+	// Latency is the added delay for latency faults.
+	Latency time.Duration
+	// StallRate is the probability a data op hangs for Stall.
+	StallRate float64
+	// Stall is the hang duration for stall faults.
+	Stall time.Duration
+	// ShortRate is the probability a data op moves only half its bytes
+	// (short writes also fail with EIO after the partial transfer, per the
+	// WriteAt contract).
+	ShortRate float64
+	// PanicEvery makes every Nth data op panic (0 disables) — the worker
+	// panic-recovery drill.
+	PanicEvery uint64
+	// OpenErrRate is the probability Open fails with EIO.
+	OpenErrRate float64
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	Ops       uint64
+	Errors    uint64
+	Latencies uint64
+	Stalls    uint64
+	Shorts    uint64
+	Panics    uint64
+	OpenErrs  uint64
+}
+
+// Backend wraps an inner core.Backend with fault injection.
+type Backend struct {
+	inner core.Backend
+	cfg   Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	ops uint64
+
+	errs      telemetry.Counter
+	latencies telemetry.Counter
+	stalls    telemetry.Counter
+	shorts    telemetry.Counter
+	panics    telemetry.Counter
+	openErrs  telemetry.Counter
+	opCount   telemetry.Counter
+}
+
+// New wraps inner with the given fault configuration.
+func New(inner core.Backend, cfg Config) *Backend {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Backend{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Stats returns a snapshot of the injection counters.
+func (b *Backend) Stats() Stats {
+	return Stats{
+		Ops:       b.opCount.Value(),
+		Errors:    b.errs.Value(),
+		Latencies: b.latencies.Value(),
+		Stalls:    b.stalls.Value(),
+		Shorts:    b.shorts.Value(),
+		Panics:    b.panics.Value(),
+		OpenErrs:  b.openErrs.Value(),
+	}
+}
+
+// Register exports the injection counters on reg as
+// iofwd_fault_injected_total{kind=...}.
+func (b *Backend) Register(reg *telemetry.Registry) {
+	k := func(kind string, c *telemetry.Counter) {
+		reg.MustRegister("iofwd_fault_injected_total",
+			"Faults injected by the chaos backend, by kind.", c, telemetry.L("kind", kind))
+	}
+	k("error", &b.errs)
+	k("latency", &b.latencies)
+	k("stall", &b.stalls)
+	k("short", &b.shorts)
+	k("panic", &b.panics)
+	k("open_error", &b.openErrs)
+	reg.MustRegister("iofwd_fault_ops_total",
+		"Data operations that passed through the chaos backend.", &b.opCount)
+}
+
+// verdict is one op's drawn fault plan.
+type verdict struct {
+	err     bool
+	latency bool
+	stall   bool
+	short   bool
+	panicy  bool
+}
+
+// decide draws the fault plan for the next data op. Every rate is drawn
+// even when zero so the schedule depends only on (Seed, op index), not on
+// which faults are enabled.
+func (b *Backend) decide() verdict {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ops++
+	v := verdict{
+		err:     b.rng.Float64() < b.cfg.ErrRate,
+		latency: b.rng.Float64() < b.cfg.LatencyRate,
+		stall:   b.rng.Float64() < b.cfg.StallRate,
+		short:   b.rng.Float64() < b.cfg.ShortRate,
+	}
+	if b.cfg.PanicEvery > 0 && b.ops%b.cfg.PanicEvery == 0 {
+		v.panicy = true
+	}
+	return v
+}
+
+// Open implements core.Backend.
+func (b *Backend) Open(name string, create bool) (core.Handle, error) {
+	if b.cfg.OpenErrRate > 0 {
+		b.mu.Lock()
+		fail := b.rng.Float64() < b.cfg.OpenErrRate
+		b.mu.Unlock()
+		if fail {
+			b.openErrs.Inc()
+			return nil, fmt.Errorf("%w: injected open fault", core.EIO)
+		}
+	}
+	h, err := b.inner.Open(name, create)
+	if err != nil {
+		return nil, err
+	}
+	return &handle{b: b, inner: h}, nil
+}
+
+type handle struct {
+	b     *Backend
+	inner core.Handle
+}
+
+// before applies the drawn plan's delays and panic, returning the plan for
+// the data-path decision.
+func (h *handle) before() verdict {
+	b := h.b
+	b.opCount.Inc()
+	v := b.decide()
+	if v.latency && b.cfg.Latency > 0 {
+		b.latencies.Inc()
+		time.Sleep(b.cfg.Latency)
+	}
+	if v.stall && b.cfg.Stall > 0 {
+		b.stalls.Inc()
+		time.Sleep(b.cfg.Stall)
+	}
+	if v.panicy {
+		b.panics.Inc()
+		panic(fmt.Sprintf("fault: injected backend panic (op %d)", b.ops))
+	}
+	return v
+}
+
+func (h *handle) WriteAt(p []byte, off int64) (int, error) {
+	v := h.before()
+	if v.err {
+		h.b.errs.Inc()
+		return 0, fmt.Errorf("%w: injected write fault", core.EIO)
+	}
+	if v.short && len(p) > 1 {
+		h.b.shorts.Inc()
+		n, err := h.inner.WriteAt(p[:len(p)/2], off)
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w: injected short write (%d of %d bytes)", core.EIO, n, len(p))
+	}
+	return h.inner.WriteAt(p, off)
+}
+
+func (h *handle) ReadAt(p []byte, off int64) (int, error) {
+	v := h.before()
+	if v.err {
+		h.b.errs.Inc()
+		return 0, fmt.Errorf("%w: injected read fault", core.EIO)
+	}
+	if v.short && len(p) > 1 {
+		h.b.shorts.Inc()
+		return h.inner.ReadAt(p[:len(p)/2], off)
+	}
+	return h.inner.ReadAt(p, off)
+}
+
+func (h *handle) Sync() error          { return h.inner.Sync() }
+func (h *handle) Size() (int64, error) { return h.inner.Size() }
+func (h *handle) Close() error         { return h.inner.Close() }
+
+// Parse builds a Config from a compact flag spec, e.g.
+//
+//	err=0.01,lat=0.05:5ms,stall=0.001:250ms,short=0.005,panic=1000,openerr=0.01,seed=42
+//
+// Each field is optional; rates are floats in [0,1], durations use Go
+// syntax, panic is an every-Nth count, seed is an integer.
+func Parse(spec string) (Config, error) {
+	var cfg Config
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return cfg, fmt.Errorf("fault: bad spec element %q (want key=value)", part)
+		}
+		rate := func(s string) (float64, error) {
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil || f < 0 || f > 1 {
+				return 0, fmt.Errorf("fault: %s wants a rate in [0,1], got %q", key, s)
+			}
+			return f, nil
+		}
+		var err error
+		switch key {
+		case "err":
+			cfg.ErrRate, err = rate(val)
+		case "lat":
+			cfg.LatencyRate, cfg.Latency, err = rateDuration(key, val, 2*time.Millisecond)
+		case "stall":
+			cfg.StallRate, cfg.Stall, err = rateDuration(key, val, 250*time.Millisecond)
+		case "short":
+			cfg.ShortRate, err = rate(val)
+		case "openerr":
+			cfg.OpenErrRate, err = rate(val)
+		case "panic":
+			cfg.PanicEvery, err = strconv.ParseUint(val, 10, 64)
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return cfg, fmt.Errorf("fault: unknown spec key %q", key)
+		}
+		if err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// rateDuration parses "rate" or "rate:duration" with a default duration.
+func rateDuration(key, val string, def time.Duration) (float64, time.Duration, error) {
+	rs, ds, hasDur := strings.Cut(val, ":")
+	f, err := strconv.ParseFloat(rs, 64)
+	if err != nil || f < 0 || f > 1 {
+		return 0, 0, fmt.Errorf("fault: %s wants rate[:duration], got %q", key, val)
+	}
+	d := def
+	if hasDur {
+		d, err = time.ParseDuration(ds)
+		if err != nil {
+			return 0, 0, fmt.Errorf("fault: %s duration: %v", key, err)
+		}
+	}
+	return f, d, nil
+}

@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// outcomes drives n writes through a fresh fault backend and records each
+// op's observed result class.
+func outcomes(t *testing.T, cfg Config, n int) []string {
+	t.Helper()
+	b := New(core.NewMemBackend(), cfg)
+	h, err := b.Open("f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := bytes.Repeat([]byte{9}, 64)
+	var out []string
+	for i := 0; i < n; i++ {
+		wn, err := h.WriteAt(buf, int64(i*64))
+		switch {
+		case err == nil:
+			out = append(out, "ok")
+		case wn == len(buf)/2:
+			out = append(out, "short")
+		default:
+			out = append(out, "err")
+		}
+	}
+	return out
+}
+
+// TestDeterministicSchedule: same seed, same op sequence, same fault
+// schedule — the reproducibility contract chaos tests rely on.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, ErrRate: 0.2, ShortRate: 0.2}
+	a := outcomes(t, cfg, 200)
+	b := outcomes(t, cfg, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at op %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	var faults int
+	for _, o := range a {
+		if o != "ok" {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("no faults injected at 40% combined rate over 200 ops")
+	}
+	diff := outcomes(t, Config{Seed: 43, ErrRate: 0.2, ShortRate: 0.2}, 200)
+	same := true
+	for i := range a {
+		if a[i] != diff[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestInjectedErrorsAreEIO: injected failures must map onto the wire EIO
+// code via errors.Is/As so the server forwards them faithfully.
+func TestInjectedErrorsAreEIO(t *testing.T) {
+	b := New(core.NewMemBackend(), Config{Seed: 1, ErrRate: 1})
+	h, err := b.Open("f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt([]byte("x"), 0); !errors.Is(err, core.EIO) {
+		t.Fatalf("want EIO wrap, got %v", err)
+	}
+	if _, err := h.ReadAt(make([]byte, 1), 0); !errors.Is(err, core.EIO) {
+		t.Fatalf("want EIO wrap on read, got %v", err)
+	}
+	if b.Stats().Errors != 2 {
+		t.Fatalf("errors counted: %d", b.Stats().Errors)
+	}
+}
+
+// TestShortWrite: a short-write fault transfers half the payload to the
+// inner backend and fails the op, modelling a torn write.
+func TestShortWrite(t *testing.T) {
+	mem := core.NewMemBackend()
+	b := New(mem, Config{Seed: 1, ShortRate: 1})
+	h, err := b.Open("f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{5}, 128)
+	n, err := h.WriteAt(payload, 0)
+	if err == nil || !errors.Is(err, core.EIO) {
+		t.Fatalf("short write must fail with EIO, got n=%d err=%v", n, err)
+	}
+	if n != 64 {
+		t.Fatalf("short write moved %d bytes, want 64", n)
+	}
+	data, _ := mem.Bytes("f")
+	if len(data) != 64 {
+		t.Fatalf("inner backend got %d bytes, want 64", len(data))
+	}
+}
+
+// TestPanicEvery: every Nth data op panics, deterministically.
+func TestPanicEvery(t *testing.T) {
+	b := New(core.NewMemBackend(), Config{Seed: 1, PanicEvery: 3})
+	h, err := b.Open("f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecover := func() (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		_, _ = h.WriteAt([]byte("x"), 0)
+		return false
+	}
+	got := []bool{writeRecover(), writeRecover(), writeRecover(), writeRecover(), writeRecover(), writeRecover()}
+	want := []bool{false, false, true, false, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("panic schedule %v, want %v", got, want)
+		}
+	}
+	if b.Stats().Panics != 2 {
+		t.Fatalf("panics counted: %d", b.Stats().Panics)
+	}
+}
+
+// TestParse covers the flag-spec grammar.
+func TestParse(t *testing.T) {
+	cfg, err := Parse("err=0.01,lat=0.05:5ms,stall=0.001:250ms,short=0.005,panic=1000,openerr=0.02,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed: 42, ErrRate: 0.01,
+		LatencyRate: 0.05, Latency: 5 * time.Millisecond,
+		StallRate: 0.001, Stall: 250 * time.Millisecond,
+		ShortRate: 0.005, PanicEvery: 1000, OpenErrRate: 0.02,
+	}
+	if cfg != want {
+		t.Fatalf("Parse = %+v, want %+v", cfg, want)
+	}
+	if cfg, err := Parse("lat=0.5"); err != nil || cfg.Latency != 2*time.Millisecond {
+		t.Fatalf("default latency: %+v err=%v", cfg, err)
+	}
+	if _, err := Parse("err=1.5"); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+	if _, err := Parse("bogus=1"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if _, err := Parse("err"); err == nil {
+		t.Fatal("missing value accepted")
+	}
+	if cfg, err := Parse(""); err != nil || cfg != (Config{}) {
+		t.Fatal("empty spec must be the zero config")
+	}
+}
+
+// TestOpenErrRate: open faults surface as EIO from Open.
+func TestOpenErrRate(t *testing.T) {
+	b := New(core.NewMemBackend(), Config{Seed: 1, OpenErrRate: 1})
+	if _, err := b.Open("f", true); !errors.Is(err, core.EIO) {
+		t.Fatalf("want EIO from injected open fault, got %v", err)
+	}
+	if b.Stats().OpenErrs != 1 {
+		t.Fatalf("open errors counted: %d", b.Stats().OpenErrs)
+	}
+}

@@ -70,6 +70,13 @@ type serverMetrics struct {
 	openDescs      *telemetry.Gauge
 	inflightStaged *telemetry.Gauge
 	deferredErrors *telemetry.Counter
+
+	// Failure paths (the fault-tolerance layer).
+	shed         *telemetry.Counter
+	bmlDegraded  *telemetry.Counter
+	workerPanics *telemetry.Counter
+	connPanics   *telemetry.Counter
+	queueRejects *telemetry.Counter
 }
 
 // opLabelName returns the op label value for metric slot i.
@@ -130,6 +137,19 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		"Staged operations accepted but not yet executed.")
 	m.deferredErrors = reg.Counter("iofwd_deferred_errors_total",
 		"Staged operations that failed after acknowledgement (reported on a later op).")
+
+	m.shed = reg.Counter("iofwd_shed_total",
+		"Data operations refused with EAGAIN because the work queue exceeded its high-water mark (overload shedding).")
+	m.bmlDegraded = reg.Counter("iofwd_bml_degraded_total",
+		"Writes that fell back to the synchronous path with an unpooled buffer after staging-pool admission timed out.")
+	m.workerPanics = reg.Counter("iofwd_panics_total",
+		"Panics recovered without killing the process, by scope (worker = pool task, conn = connection handler).",
+		telemetry.L("scope", "worker"))
+	m.connPanics = reg.Counter("iofwd_panics_total",
+		"Panics recovered without killing the process, by scope (worker = pool task, conn = connection handler).",
+		telemetry.L("scope", "conn"))
+	m.queueRejects = reg.Counter("iofwd_queue_rejects_total",
+		"Operations refused with ECLOSED because they raced server shutdown (closed work queue).")
 	return m
 }
 
@@ -151,6 +171,8 @@ func (m *serverMetrics) wire(s *Server) {
 		"Staging buffer requests that blocked on the capacity cap.", &s.bml.stalls)
 	reg.MustRegister("iofwd_bml_stall_wait_ns",
 		"Time spent blocked waiting for staging-pool capacity.", &s.bml.stallWait)
+	reg.MustRegister("iofwd_bml_admission_timeouts_total",
+		"Staging buffer requests that gave up waiting (BMLTimeout) and degraded.", &s.bml.timeouts)
 	if s.queue != nil {
 		q := s.queue
 		reg.GaugeFunc("iofwd_queue_depth",

@@ -57,6 +57,10 @@ const (
 	// FlagDeferredErr in a response tells the client the errno field
 	// reports a *previous* staged operation's failure on this descriptor.
 	FlagDeferredErr
+	// FlagDegraded in a response tells the client the write bypassed
+	// asynchronous staging and executed synchronously because staging-pool
+	// admission timed out (BML exhaustion degradation).
+	FlagDegraded
 )
 
 // Protocol constants.

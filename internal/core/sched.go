@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -42,16 +43,20 @@ func newTaskQueue() *taskQueue {
 	return q
 }
 
-func (q *taskQueue) put(t *task) {
+// put enqueues one task. It returns ECLOSED (instead of panicking) when the
+// queue has been closed, so a connection racing server shutdown gets a clean
+// wire error rather than crashing the process.
+func (q *taskQueue) put(t *task) error {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		panic("core: put on closed task queue")
+		return ECLOSED
 	}
 	q.items = append(q.items, t)
 	q.peak.Observe(int64(len(q.items)))
 	q.mu.Unlock()
 	q.cond.Signal()
+	return nil
 }
 
 // getBatch removes up to max tasks, blocking while the queue is empty. It
@@ -114,18 +119,33 @@ func (s *Server) worker() {
 	}
 }
 
+// runTask executes the backend call for one task, converting a backend
+// panic into an EIO failure of that operation alone so a buggy or
+// fault-injected backend cannot take down the worker pool.
+func (s *Server) runTask(t *task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.workerPanics.Inc()
+			err = fmt.Errorf("%w: worker recovered panic: %v", EIO, r)
+		}
+	}()
+	switch t.op {
+	case OpWrite:
+		_, err = t.d.handle.WriteAt(t.buf, t.off)
+	case OpRead:
+		t.n, err = t.d.handle.ReadAt(t.buf, t.off)
+	}
+	return err
+}
+
 // execute runs one task, observes its backend service time, and routes its
 // result. The observation happens before the result is published so a
 // snapshot taken after a drain sees every completed task. It returns the
 // completion timestamp for the worker's chained batch timing.
 func (s *Server) execute(t *task, start time.Time) time.Time {
-	var err error
-	switch t.op {
-	case OpWrite:
-		_, err = t.d.handle.WriteAt(t.buf, t.off)
+	err := s.runTask(t)
+	if t.op == OpWrite {
 		s.bml.Put(t.buf)
-	case OpRead:
-		t.n, err = t.d.handle.ReadAt(t.buf, t.off)
 	}
 	end := time.Now()
 	s.metrics.stageBackend.Observe(end.Sub(start).Nanoseconds())

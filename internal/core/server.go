@@ -58,6 +58,17 @@ type Config struct {
 	// registers its instruments on (a fresh one is created otherwise).
 	// Each Server needs its own registry.
 	Metrics *telemetry.Registry
+	// QueueHighWater, when > 0, sheds incoming data operations with EAGAIN
+	// while the shared work queue is at least this deep, instead of letting
+	// a stalled backend absorb unbounded queued work and block every
+	// forwarder. Shedding happens before any side effect (no cursor
+	// movement, no staging), so EAGAIN is always safe to retry.
+	QueueHighWater int
+	// BMLTimeout, when > 0, bounds the wait for staging-pool admission;
+	// past it a write degrades to the synchronous path with an unpooled
+	// buffer (reply carries FlagDegraded) instead of blocking forever on
+	// BML exhaustion. 0 keeps the paper's pure back-pressure behaviour.
+	BMLTimeout time.Duration
 }
 
 // ServerStats are cumulative server counters.
@@ -68,6 +79,13 @@ type ServerStats struct {
 	StagedWrites uint64
 	WorkerBatch  uint64
 	Conns        uint64
+	// Shed counts data operations refused with EAGAIN under overload.
+	Shed uint64
+	// Degraded counts writes that bypassed staging after a BML admission
+	// timeout.
+	Degraded uint64
+	// WorkerPanics counts backend panics recovered by the worker pool.
+	WorkerPanics uint64
 }
 
 // Server is a forwarding server.
@@ -142,7 +160,15 @@ func (s *Server) Stats() ServerStats {
 		StagedWrites: m.staged.Value(),
 		WorkerBatch:  m.batches.Value(),
 		Conns:        m.conns.Value(),
+		Shed:         m.shed.Value(),
+		Degraded:     m.bmlDegraded.Value(),
+		WorkerPanics: m.workerPanics.Value(),
 	}
+}
+
+// shouldShed reports whether the work queue is past its high-water mark.
+func (s *Server) shouldShed() bool {
+	return s.queue != nil && s.cfg.QueueHighWater > 0 && s.queue.depth() >= s.cfg.QueueHighWater
 }
 
 // Serve accepts connections until the listener fails or the server closes.
@@ -215,7 +241,16 @@ type serverConn struct {
 	db  *descDB
 }
 
-func (c *serverConn) run() error {
+func (c *serverConn) run() (err error) {
+	// A panic in a handler (a buggy backend on the direct path, a filter)
+	// costs this connection, never the process; the deferred teardown in
+	// ServeConn still drains and closes the connection's descriptors.
+	defer func() {
+		if r := recover(); r != nil {
+			c.srv.metrics.connPanics.Inc()
+			err = fmt.Errorf("core: connection handler recovered panic: %v", r)
+		}
+	}()
 	var h header
 	for {
 		if err := readHeader(c.nc, &h); err != nil {
@@ -370,10 +405,22 @@ func (c *serverConn) handleWrite(h *header, start time.Time) error {
 		return c.reply(h.reqID, 0, EBADF, 0, nil)
 	}
 	// Receive into a staging buffer. Allocation blocks under the BML cap,
-	// which back-pressures the client exactly as the paper describes.
-	buf := s.bml.Get(int(h.length))
+	// which back-pressures the client exactly as the paper describes. With
+	// BMLTimeout set, exhaustion instead degrades this write to the
+	// synchronous path with an unpooled buffer, so one stalled backend
+	// cannot wedge every forwarder on admission forever.
+	buf, pooled := s.bml.GetTimeout(int(h.length), s.cfg.BMLTimeout)
+	if !pooled {
+		m.bmlDegraded.Inc()
+		buf = make([]byte, h.length)
+	}
+	putBuf := func() {
+		if pooled {
+			s.bml.Put(buf)
+		}
+	}
 	if _, err := io.ReadFull(c.nc, buf); err != nil {
-		s.bml.Put(buf)
+		putBuf()
 		return err
 	}
 	recvd := time.Now()
@@ -384,11 +431,11 @@ func (c *serverConn) handleWrite(h *header, start time.Time) error {
 	if s.cfg.Filters != nil {
 		filtered, ferr := s.cfg.Filters.Apply(d.name, int64(h.offset), buf)
 		if ferr != nil {
-			s.bml.Put(buf)
+			putBuf()
 			return c.reply(h.reqID, 0, toErrno(ferr), 0, nil)
 		}
 		if len(filtered) > len(buf) {
-			s.bml.Put(buf)
+			putBuf()
 			return c.reply(h.reqID, 0, EINVAL, 0, nil)
 		}
 		if len(filtered) == 0 {
@@ -397,6 +444,14 @@ func (c *serverConn) handleWrite(h *header, start time.Time) error {
 			n := copy(buf, filtered)
 			buf = buf[:n]
 		}
+	}
+	// Overload shedding happens before the cursor is reserved or anything
+	// is staged, so a shed write has no side effect and EAGAIN is safely
+	// retryable.
+	if s.shouldShed() {
+		putBuf()
+		m.shed.Inc()
+		return c.reply(h.reqID, 0, EAGAIN, 0, nil)
 	}
 	var off int64
 	var opNum uint64
@@ -409,28 +464,55 @@ func (c *serverConn) handleWrite(h *header, start time.Time) error {
 	n := int64(h.length)
 	m.bytesWritten.Add(uint64(n))
 
-	switch s.cfg.Mode {
-	case ModeDirect:
-		_, err := d.handle.WriteAt(buf, off)
+	// A degraded (unpooled) write always executes synchronously: it must
+	// not enter the queue, whose write path returns buffers to the pool.
+	if s.cfg.Mode == ModeDirect || !pooled {
+		_, err := c.safeWriteAt(d, buf, off)
 		m.stageBackend.Observe(time.Since(recvd).Nanoseconds())
-		s.bml.Put(buf)
-		return c.reply(h.reqID, 0, toErrno(err), n, nil)
+		var flags uint16
+		if !pooled {
+			flags = FlagDegraded
+		}
+		return c.reply(h.reqID, flags, toErrno(err), n, nil)
+	}
 
+	switch s.cfg.Mode {
 	case ModeWorkQueue:
 		done := make(chan error, 1)
-		s.queue.put(&task{d: d, op: OpWrite, buf: buf, off: off, done: done, enq: recvd})
+		if err := s.queue.put(&task{d: d, op: OpWrite, buf: buf, off: off, done: done, enq: recvd}); err != nil {
+			s.bml.Put(buf)
+			m.queueRejects.Inc()
+			return c.reply(h.reqID, 0, toErrno(err), 0, nil)
+		}
 		err := <-done
 		return c.reply(h.reqID, 0, toErrno(err), n, nil)
 
 	case ModeAsync:
 		flags, errno := deferredFlags(d)
 		d.start()
+		if err := s.queue.put(&task{d: d, op: OpWrite, buf: buf, off: off, opNum: opNum, enq: recvd}); err != nil {
+			d.complete(opNum, nil) // undo start: the op never entered the queue
+			s.bml.Put(buf)
+			m.queueRejects.Inc()
+			return c.reply(h.reqID, flags, ECLOSED, 0, nil)
+		}
 		m.staged.Inc()
-		s.queue.put(&task{d: d, op: OpWrite, buf: buf, off: off, opNum: opNum, enq: recvd})
 		return c.reply(h.reqID, flags|FlagStaged, errno, n, nil)
 	}
 	s.bml.Put(buf)
 	return c.reply(h.reqID, 0, EINVAL, 0, nil)
+}
+
+// safeWriteAt executes a direct-path backend write, converting a backend
+// panic into EIO for this op alone.
+func (c *serverConn) safeWriteAt(d *descriptor, buf []byte, off int64) (n int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.srv.metrics.connPanics.Inc()
+			err = fmt.Errorf("%w: handler recovered panic: %v", EIO, r)
+		}
+	}()
+	return d.handle.WriteAt(buf, off)
 }
 
 // handleRead executes or queues a read; reads block for the data in every
@@ -445,6 +527,11 @@ func (c *serverConn) handleRead(h *header) error {
 	d, ok := c.db.lookup(h.fd)
 	if !ok {
 		return c.reply(h.reqID, 0, EBADF, 0, nil)
+	}
+	// Shed before the cursor moves so a refused read has no side effect.
+	if s.shouldShed() {
+		m.shed.Inc()
+		return c.reply(h.reqID, 0, EAGAIN, 0, nil)
 	}
 	var off int64
 	if h.op == OpPread {
@@ -465,12 +552,15 @@ func (c *serverConn) handleRead(h *header) error {
 	var n int
 	var err error
 	if s.cfg.Mode == ModeDirect {
-		n, err = d.handle.ReadAt(buf, off)
+		n, err = c.safeReadAt(d, buf, off)
 		m.stageBackend.Observe(time.Since(ready).Nanoseconds())
 	} else {
 		done := make(chan error, 1)
 		t := &task{d: d, op: OpRead, buf: buf, off: off, done: done, enq: ready}
-		s.queue.put(t)
+		if qerr := s.queue.put(t); qerr != nil {
+			m.queueRejects.Inc()
+			return c.reply(h.reqID, flags, toErrno(qerr), 0, nil)
+		}
 		err = <-done
 		n = t.n
 	}
@@ -481,4 +571,16 @@ func (c *serverConn) handleRead(h *header) error {
 		errno = derrno
 	}
 	return c.reply(h.reqID, flags, errno, int64(n), buf[:n])
+}
+
+// safeReadAt executes a direct-path backend read, converting a backend
+// panic into EIO for this op alone.
+func (c *serverConn) safeReadAt(d *descriptor, buf []byte, off int64) (n int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.srv.metrics.connPanics.Inc()
+			err = fmt.Errorf("%w: handler recovered panic: %v", EIO, r)
+		}
+	}()
+	return d.handle.ReadAt(buf, off)
 }

@@ -5,8 +5,8 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/iofwd"
-	"repro/internal/sim"
 	"repro/internal/iofwd/zoid"
+	"repro/internal/sim"
 )
 
 // TestCIODSlowerThanZOID checks the ~2% ordering of paper figure 4: for the

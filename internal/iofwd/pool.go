@@ -3,8 +3,8 @@ package iofwd
 import (
 	"fmt"
 
-	"repro/internal/simcpu"
 	"repro/internal/sim"
+	"repro/internal/simcpu"
 )
 
 // TaskKind distinguishes queued I/O work.
