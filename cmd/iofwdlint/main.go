@@ -1,0 +1,95 @@
+// Command iofwdlint runs the repository's custom static analyzers (see
+// internal/analysis) over Go packages. It mechanically enforces the
+// invariants the forwarding stack's correctness rests on: sim determinism
+// (simclock), no blocking under locks (lockhold), metric naming
+// (metricname), wire-error classification (errnowrap), and opcode
+// exhaustiveness (opexhaustive).
+//
+// Standalone:
+//
+//	go run ./cmd/iofwdlint ./...
+//
+// As a vet tool (unitchecker protocol — go vet type-checks each package
+// with export data and hands this binary a .cfg file per package):
+//
+//	go build -o /tmp/iofwdlint ./cmd/iofwdlint
+//	go vet -vettool=/tmp/iofwdlint ./...
+//
+// Diagnostics are suppressed by `//lint:allow <analyzer> <reason>` on the
+// offending line or the line above; the reason is mandatory.
+//
+// Exit status: 0 clean, 1 usage/load error, 2 diagnostics found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+func main() {
+	// The go vet driver probes the tool's identity with -V=full and its
+	// flag set with -flags (a JSON array of flag descriptors; we expose
+	// none) before handing it package configs.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		// The go command insists on a trailing buildID= field; "do-not-cache"
+		// keeps vet from caching results across tool rebuilds.
+		fmt.Printf("iofwdlint version devel buildID=do-not-cache\n")
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+
+	listOnly := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: iofwdlint [packages]   (default ./...)\n\nanalyzers:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-13s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetMode(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	pkgs, fset, err := load.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	findings := analysis.Run(load.Targets(pkgs), fset, analysis.Analyzers(), analysis.Options{})
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "iofwdlint: %d finding(s)\n", len(findings))
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig is the per-package JSON config the go vet driver writes for
+// -vettool binaries (the x/tools unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetMode analyzes one package described by a vet .cfg file: parse its
+// GoFiles, type-check against the export data the go command already
+// compiled, run the suite, print findings. The facts output file must be
+// created even though the suite exchanges no facts — the driver checks for
+// it.
+func vetMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "iofwdlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Scope early: skip type-checking packages no analyzer cares about.
+	anyInScope := false
+	for _, a := range analysis.Analyzers() {
+		if a.Scope == nil || a.Scope(cfg.ImportPath) {
+			anyInScope = true
+			break
+		}
+	}
+	if !anyInScope {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tconf := types.Config{
+		Importer: importMapper{imp: imp, importMap: cfg.ImportMap},
+		Error:    func(error) {},
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil && cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+
+	findings := analysis.RunSingle(cfg.ImportPath, files, pkg, info, fset)
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// importMapper applies the vet config's ImportMap (vendored std paths)
+// before delegating to the export-data importer.
+type importMapper struct {
+	imp       types.Importer
+	importMap map[string]string
+}
+
+func (m importMapper) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return m.imp.Import(path)
+}

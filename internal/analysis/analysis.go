@@ -1,0 +1,235 @@
+// Package analysis is iofwdlint: a suite of static analyzers that turn the
+// repository's determinism, locking, error-classification, and metric-naming
+// invariants into mechanical checks. The API deliberately mirrors
+// golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic) so the suite
+// can migrate onto the upstream framework wholesale if the dependency ever
+// becomes available; until then the stdlib-only driver in this package and
+// the loader in internal/analysis/load stand in for it.
+//
+// Suppression: a diagnostic is silenced by a directive comment
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed either at the end of the offending line or alone on the line
+// directly above it. The reason is mandatory — an allow without one is
+// itself reported — so every exception is documented at the point it is
+// granted.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/load"
+)
+
+// Diagnostic is one problem found by an analyzer.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzer is one named check. Analyzers may keep cross-package state
+// (metricname does, for duplicate detection), so instances must not be
+// shared between concurrent drivers; obtain fresh ones from Analyzers().
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Scope reports whether the analyzer applies to a package import path.
+	// A nil Scope means every package. The driver consults it; fixture
+	// tests bypass it so testdata packages are always analyzed.
+	Scope func(pkgPath string) bool
+	Run   func(*Pass) error
+}
+
+// Finding is a located, attributed diagnostic ready for printing.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyzers returns fresh instances of the full iofwdlint suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NewSimclock(),
+		NewLockhold(),
+		NewMetricname(),
+		NewErrnowrap(),
+		NewOpexhaustive(),
+	}
+}
+
+// Options controls a driver run.
+type Options struct {
+	// IgnoreScope runs every analyzer on every package, regardless of the
+	// analyzer's Scope. Fixture tests use it.
+	IgnoreScope bool
+}
+
+// Run executes the analyzers over the target packages and returns the
+// surviving findings sorted by position. Allow directives are applied and
+// malformed directives are reported here, so every driver (CLI, vet shim,
+// fixture tests) shares identical suppression semantics.
+func Run(pkgs []*load.Package, fset *token.FileSet, analyzers []*Analyzer, opts Options) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if !pkg.Target || pkg.Types == nil {
+			continue
+		}
+		findings = append(findings, runPackage(pkg.ImportPath, pkg.Syntax, pkg.Types, pkg.Info, fset, analyzers, opts)...)
+	}
+	sortFindings(findings)
+	return findings
+}
+
+// RunSingle analyzes one pre-type-checked package: the vet -vettool path,
+// where the go command supplies per-package type information. Cross-package
+// checks (metricname kind conflicts) only see this one package here; the
+// standalone driver is the whole-repo authority.
+func RunSingle(importPath string, files []*ast.File, pkg *types.Package, info *types.Info, fset *token.FileSet) []Finding {
+	findings := runPackage(importPath, files, pkg, info, fset, Analyzers(), Options{})
+	sortFindings(findings)
+	return findings
+}
+
+func runPackage(importPath string, files []*ast.File, pkg *types.Package, info *types.Info, fset *token.FileSet, analyzers []*Analyzer, opts Options) []Finding {
+	// The invariants guard production code; test files use throwaway metric
+	// names, real clocks for timeouts, and ad-hoc errors by design. The
+	// standalone loader never feeds test files, but the vet -vettool path
+	// does, so filter here to keep the two drivers in agreement.
+	files = withoutTestFiles(fset, files)
+	var findings []Finding
+	dirs := collectDirectives(fset, files)
+	for _, a := range analyzers {
+		if !opts.IgnoreScope && a.Scope != nil && !a.Scope(importPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+		}
+		if err := a.Run(pass); err != nil {
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("analyzer failed: %v", err),
+			})
+			continue
+		}
+		for _, d := range pass.diags {
+			pos := fset.Position(d.Pos)
+			if dirs.allows(a.Name, pos) {
+				continue
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+	}
+	return append(findings, dirs.malformed...)
+}
+
+func sortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// withoutTestFiles drops *_test.go files from the analysis set.
+func withoutTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
+	kept := files[:0:0]
+	for _, f := range files {
+		if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+// directiveSet indexes //lint:allow directives by file and line.
+type directiveSet struct {
+	// byLine maps file -> line -> analyzer names allowed on that line.
+	byLine    map[string]map[int][]string
+	malformed []Finding
+}
+
+const directivePrefix = "//lint:allow"
+
+// collectDirectives scans file comments for allow directives. A directive
+// covers its own line and the line below it (so it can trail the offending
+// statement or sit on its own line above).
+func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	ds := &directiveSet{byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
+				parts := strings.Fields(rest)
+				if len(parts) < 2 {
+					ds.malformed = append(ds.malformed, Finding{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\" (reason is mandatory)",
+					})
+					continue
+				}
+				name := parts[0]
+				lines := ds.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					ds.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], name)
+				lines[pos.Line+1] = append(lines[pos.Line+1], name)
+			}
+		}
+	}
+	return ds
+}
+
+// allows reports whether a directive for analyzer covers pos.
+func (ds *directiveSet) allows(analyzer string, pos token.Position) bool {
+	for _, name := range ds.byLine[pos.Filename][pos.Line] {
+		if name == analyzer {
+			return true
+		}
+	}
+	return false
+}

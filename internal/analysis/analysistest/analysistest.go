@@ -1,0 +1,190 @@
+// Package analysistest runs an analyzer over a fixture package under
+// internal/analysis/testdata/src and compares its diagnostics against
+// `// want "regexp"` comments in the fixture, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Expectation syntax: a comment anywhere on a line of the form
+//
+//	// want "re1" "re2" ...
+//
+// requires exactly those diagnostics (by regexp match against the message)
+// on that line. Lines without a want comment must produce no diagnostics;
+// that is how `//lint:allow` suppression is asserted — the violation is
+// present but no want comment accompanies it.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads testdata/src/<fixture>/... relative to the analysis package,
+// applies a fresh analyzer from mk, and checks diagnostics against the
+// fixture's want comments. Scope is bypassed: fixtures are always analyzed.
+func Run(t *testing.T, mk func() *analysis.Analyzer, fixture string) {
+	t.Helper()
+	root := moduleRoot(t)
+	pattern := "./internal/analysis/testdata/src/" + fixture + "/..."
+	pkgs, fset, err := load.Load(root, pattern)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	targets := load.Targets(pkgs)
+	if len(targets) == 0 {
+		t.Fatalf("fixture %s matched no packages", fixture)
+	}
+	for _, p := range targets {
+		for _, e := range p.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", p.ImportPath, e)
+		}
+	}
+
+	findings := analysis.Run(targets, fset, []*analysis.Analyzer{mk()}, analysis.Options{IgnoreScope: true})
+
+	type key struct {
+		file string
+		line int
+	}
+	got := make(map[key][]string)
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		got[k] = append(got[k], f.Message)
+	}
+
+	want := make(map[key][]*regexp.Regexp)
+	for _, p := range targets {
+		for _, file := range p.GoFiles {
+			for k, res := range parseWants(t, file) {
+				want[k] = res
+			}
+		}
+	}
+
+	// Every want must be matched by exactly one diagnostic on its line, and
+	// every diagnostic must be wanted.
+	for k, res := range want {
+		msgs := got[k]
+		for _, re := range res {
+			idx := -1
+			for i, m := range msgs {
+				if re.MatchString(m) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %v)", k.file, k.line, re, msgs)
+				continue
+			}
+			msgs = append(msgs[:idx], msgs[idx+1:]...)
+		}
+		if len(msgs) > 0 {
+			t.Errorf("%s:%d: unexpected extra diagnostics %v", k.file, k.line, msgs)
+		}
+		delete(got, k)
+	}
+	for k, msgs := range got {
+		t.Errorf("%s:%d: unexpected diagnostics %v", k.file, k.line, msgs)
+	}
+}
+
+// parseWants extracts want expectations from one fixture file.
+func parseWants(t *testing.T, file string) map[struct {
+	file string
+	line int
+}][]*regexp.Regexp {
+	t.Helper()
+	type key = struct {
+		file string
+		line int
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatalf("reading fixture %s: %v", file, err)
+	}
+	out := make(map[key][]*regexp.Regexp)
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var res []*regexp.Regexp
+		for _, am := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+			pat, err := unescape(am[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", file, i+1, am[1], err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", file, i+1, pat, err)
+			}
+			res = append(res, re)
+		}
+		out[key{file, i + 1}] = res
+	}
+	return out
+}
+
+// unescape handles \" and \\ inside want string arguments.
+func unescape(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case '"', '\\':
+				b.WriteByte(s[i])
+			default:
+				return "", fmt.Errorf("unsupported escape \\%c", s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}
+
+// moduleRoot walks up from this file to the directory containing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test working directory")
+		}
+		dir = parent
+	}
+}
+
+// Findings runs analyzers over real repo packages (not fixtures); the
+// revert-guard tests in other packages use it to assert the suite stays
+// green on the committed tree.
+func Findings(t *testing.T, patterns ...string) []analysis.Finding {
+	t.Helper()
+	root := moduleRoot(t)
+	pkgs, fset, err := load.Load(root, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := load.Targets(pkgs)
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	return analysis.Run(targets, fset, analysis.Analyzers(), analysis.Options{})
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestDirectiveCoverage(t *testing.T) {
+	const src = `package p
+
+//lint:allow simclock the schedule is still seeded
+var a = 1
+
+var b = 2 //lint:allow lockhold send is buffered
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dir.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ds := collectDirectives(fset, []*ast.File{f})
+
+	at := func(line int) token.Position { return token.Position{Filename: "dir.go", Line: line} }
+
+	// A directive covers its own line and the one below.
+	if !ds.allows("simclock", at(3)) || !ds.allows("simclock", at(4)) {
+		t.Error("standalone directive should cover its line and the next")
+	}
+	if ds.allows("simclock", at(5)) {
+		t.Error("directive must not leak two lines down")
+	}
+	// Trailing directive covers the statement it trails.
+	if !ds.allows("lockhold", at(6)) {
+		t.Error("trailing directive should cover its own line")
+	}
+	// Analyzer names are not interchangeable.
+	if ds.allows("lockhold", at(3)) || ds.allows("simclock", at(6)) {
+		t.Error("directives must be analyzer-specific")
+	}
+	if len(ds.malformed) != 0 {
+		t.Errorf("well-formed directives reported malformed: %v", ds.malformed)
+	}
+}
+
+func TestDirectiveMalformed(t *testing.T) {
+	const src = `package p
+
+//lint:allow simclock
+var a = 1
+
+//lint:allow
+var b = 2
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dir.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ds := collectDirectives(fset, []*ast.File{f})
+
+	if len(ds.malformed) != 2 {
+		t.Fatalf("got %d malformed findings, want 2: %v", len(ds.malformed), ds.malformed)
+	}
+	for _, m := range ds.malformed {
+		if m.Analyzer != "directive" {
+			t.Errorf("malformed finding attributed to %q, want \"directive\"", m.Analyzer)
+		}
+	}
+	// A reason-less directive grants nothing.
+	if ds.allows("simclock", token.Position{Filename: "dir.go", Line: 4}) {
+		t.Error("directive without a reason must not suppress anything")
+	}
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NewErrnowrap returns the errnowrap analyzer: errors constructed inside
+// functions of internal/core cross the wire-protocol boundary (handler
+// returns become reply errnos via toErrno; client failures must satisfy
+// errors.Is against the typed roots), so they must carry their
+// classification in the wrap chain. Concretely:
+//
+//   - fmt.Errorf must use %w to wrap an Errno or one of the typed roots
+//     (ErrConnectionLost, ErrClientClosed, ErrOpTimeout); without %w the
+//     chain is cut and toErrno / errors.Is silently degrade to EIO.
+//   - errors.New inside a function creates an unclassifiable error; the
+//     only legitimate errors.New calls are the package-level typed root
+//     declarations, which live outside function bodies and are not flagged.
+func NewErrnowrap() *Analyzer {
+	return &Analyzer{
+		Name:  "errnowrap",
+		Doc:   "errors built on internal/core's wire paths must be Errno-typed or wrap a typed root with %w",
+		Scope: func(path string) bool { return path == "repro/internal/core" },
+		Run:   runErrnowrap,
+	}
+}
+
+func runErrnowrap(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn := pkgLevelFunc(pass, sel)
+				if fn == nil {
+					return true
+				}
+				switch fn.FullName() {
+				case "errors.New":
+					pass.Reportf(call.Pos(),
+						"errors.New on a core error path; return an Errno or wrap a typed root (ErrConnectionLost/ErrClientClosed/ErrOpTimeout) with %%w so errors.Is classification works")
+				case "fmt.Errorf":
+					if len(call.Args) == 0 {
+						return true
+					}
+					format, ok := stringLiteral(call.Args[0])
+					if ok && !strings.Contains(format, "%w") {
+						pass.Reportf(call.Pos(),
+							"fmt.Errorf without %%w on a core error path; wrap an Errno or typed root so toErrno and errors.Is keep classifying it")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

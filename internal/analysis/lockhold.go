@@ -1,0 +1,417 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NewLockhold returns the lockhold analyzer: no blocking operation —
+// channel send/receive, select without default, time.Sleep, net.Conn I/O,
+// WaitGroup.Wait — may run while a sync.Mutex/RWMutex is held. sync.Cond
+// Wait is permitted only in its documented pattern (inside a for loop, lock
+// held). This is exactly the deadlock class the BML sync.Cond→channel
+// rewrite existed to kill: a goroutine parked under a lock starves every
+// other path through that lock.
+//
+// The analysis is intraprocedural and flow-approximate: function literals
+// are skipped (they may run on another goroutine), loops are analyzed for
+// their bodies but assumed lock-neutral, and branch joins keep only locks
+// held on every non-returning path. Functions whose names end in "Locked"
+// are analyzed as if the caller's lock were held on entry, per the
+// repository's naming convention.
+func NewLockhold() *Analyzer {
+	return &Analyzer{
+		Name:  "lockhold",
+		Doc:   "flags blocking operations performed while a sync mutex is held",
+		Scope: scopePrefixes("repro/internal/core", "repro/internal/telemetry"),
+		Run:   runLockhold,
+	}
+}
+
+// callerLockKey is the pseudo-lock seeded into *Locked functions.
+const callerLockKey = "caller's lock"
+
+func runLockhold(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass}
+			st := lockState{}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				st[callerLockKey] = fd.Name.Pos()
+			}
+			w.walkBlock(fd.Body, st, false)
+		}
+	}
+	return nil
+}
+
+// lockState maps a lock expression (its source text) to the position where
+// it was acquired.
+type lockState map[string]token.Pos
+
+func (st lockState) clone() lockState {
+	c := make(lockState, len(st))
+	for k, v := range st {
+		c[k] = v
+	}
+	return c
+}
+
+func (st lockState) names() string {
+	keys := make([]string, 0, len(st))
+	for k := range st {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+type lockWalker struct {
+	pass *Pass
+}
+
+// walkBlock analyzes stmts sequentially, mutating st. It reports whether
+// the block always terminates (return/panic/branch) before falling off.
+func (w *lockWalker) walkBlock(b *ast.BlockStmt, st lockState, inFor bool) bool {
+	for _, s := range b.List {
+		if w.walkStmt(s, st, inFor) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, st lockState, inFor bool) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.checkExpr(s.X, st, inFor)
+		w.applyLockOps(s.X, st)
+		return isPanicCall(w.pass, s.X)
+	case *ast.SendStmt:
+		if len(st) > 0 {
+			w.pass.Reportf(s.Arrow, "channel send while holding %s; a blocked send parks the goroutine with the lock held", st.names())
+		}
+		w.checkExpr(s.Chan, st, inFor)
+		w.checkExpr(s.Value, st, inFor)
+		return false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e, st, inFor)
+			w.applyLockOps(e, st)
+		}
+		return false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.checkExpr(e, st, inFor)
+					}
+				}
+			}
+		}
+		return false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e, st, inFor)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Runs later / elsewhere: no effect on the current lock state, and
+		// FuncLit bodies are skipped by checkExpr anyway.
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st, inFor)
+		}
+		w.checkExpr(s.Cond, st, inFor)
+		branches := make([]lockState, 0, 2)
+		thenSt := st.clone()
+		if !w.walkBlock(s.Body, thenSt, inFor) {
+			branches = append(branches, thenSt)
+		}
+		if s.Else != nil {
+			elseSt := st.clone()
+			if !w.walkStmt(s.Else, elseSt, inFor) {
+				branches = append(branches, elseSt)
+			}
+		} else {
+			branches = append(branches, st.clone())
+		}
+		if len(branches) == 0 {
+			return true
+		}
+		merge(st, branches)
+		return false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st, inFor)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, st, inFor)
+		}
+		body := st.clone()
+		w.walkBlock(s.Body, body, true)
+		return false
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, st, inFor)
+		if len(st) > 0 && isChanType(w.pass, s.X) {
+			w.pass.Reportf(s.For, "range over channel while holding %s", st.names())
+		}
+		body := st.clone()
+		w.walkBlock(s.Body, body, true)
+		return false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st, inFor)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, st, inFor)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			body := st.clone()
+			for _, cs := range cc.Body {
+				if w.walkStmt(cs, body, inFor) {
+					break
+				}
+			}
+		}
+		return false
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			body := st.clone()
+			for _, cs := range cc.Body {
+				if w.walkStmt(cs, body, inFor) {
+					break
+				}
+			}
+		}
+		return false
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(st) > 0 {
+			w.pass.Reportf(s.Select, "select without default blocks while holding %s", st.names())
+		}
+		branches := make([]lockState, 0, len(s.Body.List))
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			body := st.clone()
+			terminated := false
+			for _, cs := range cc.Body {
+				if w.walkStmt(cs, body, inFor) {
+					terminated = true
+					break
+				}
+			}
+			if !terminated {
+				branches = append(branches, body)
+			}
+		}
+		if len(branches) > 0 {
+			merge(st, branches)
+		}
+		return false
+	case *ast.BlockStmt:
+		return w.walkBlock(s, st, inFor)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st, inFor)
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X, st, inFor)
+		return false
+	}
+	return false
+}
+
+// merge rewrites st to the intersection of the branch exit states: a lock
+// counts as held after the join only if every surviving path still holds it.
+func merge(st lockState, branches []lockState) {
+	for k := range st {
+		delete(st, k)
+	}
+	for k, pos := range branches[0] {
+		inAll := true
+		for _, b := range branches[1:] {
+			if _, ok := b[k]; !ok {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			st[k] = pos
+		}
+	}
+}
+
+// checkExpr reports blocking operations inside e given the held locks.
+// Function literals are not descended into.
+func (w *lockWalker) checkExpr(e ast.Expr, st lockState, inFor bool) {
+	if e == nil || len(st) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.pass.Reportf(n.OpPos, "channel receive while holding %s; a blocked receive parks the goroutine with the lock held", st.names())
+			}
+		case *ast.CallExpr:
+			w.checkCall(n, st, inFor)
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) checkCall(call *ast.CallExpr, st lockState, inFor bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || w.pass.Info == nil {
+		return
+	}
+	fn, _ := w.pass.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return
+	}
+	switch fn.FullName() {
+	case "time.Sleep":
+		w.pass.Reportf(call.Pos(), "time.Sleep while holding %s", st.names())
+	case "(*sync.Cond).Wait":
+		if !inFor {
+			w.pass.Reportf(call.Pos(), "sync.Cond Wait outside the documented for-loop recheck pattern while holding %s", st.names())
+		}
+	case "(*sync.WaitGroup).Wait":
+		w.pass.Reportf(call.Pos(), "sync.WaitGroup Wait while holding %s", st.names())
+	default:
+		if isNetConnIO(w.pass, sel, fn) {
+			w.pass.Reportf(call.Pos(), "net.Conn %s while holding %s; network I/O can block indefinitely", fn.Name(), st.names())
+		}
+	}
+}
+
+// isNetConnIO reports whether sel is a Read/Write call on a net.Conn (the
+// interface or any concrete conn type from package net).
+func isNetConnIO(pass *Pass, sel *ast.SelectorExpr, fn *types.Func) bool {
+	if fn.Name() != "Read" && fn.Name() != "Write" {
+		return false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "net"
+}
+
+// applyLockOps updates st for mutex Lock/Unlock calls found in e.
+func (w *lockWalker) applyLockOps(e ast.Expr, st lockState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || w.pass.Info == nil {
+			return true
+		}
+		fn, _ := w.pass.Info.Uses[sel.Sel].(*types.Func)
+		if fn == nil {
+			return true
+		}
+		var acquire bool
+		switch fn.FullName() {
+		case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+			acquire = true
+		case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+			acquire = false
+		default:
+			return true
+		}
+		key := exprText(sel.X)
+		if acquire {
+			st[key] = call.Pos()
+		} else {
+			delete(st, key)
+		}
+		return true
+	})
+}
+
+// exprText renders a lock receiver expression for state keys and messages.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(e.X)
+	case *ast.UnaryExpr:
+		return exprText(e.X)
+	case *ast.StarExpr:
+		return exprText(e.X)
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "()"
+	}
+	return fmt.Sprintf("%T", e)
+}
+
+// isChanType reports whether e's static type is a channel.
+func isChanType(pass *Pass, e ast.Expr) bool {
+	if pass.Info == nil {
+		return false
+	}
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// isPanicCall reports whether e is a call to the builtin panic.
+func isPanicCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	if pass.Info != nil {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+		return pass.Info.Uses[id] == nil
+	}
+	return true
+}

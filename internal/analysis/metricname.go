@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// registryPkg is the package whose Registry methods the analyzer watches.
+const registryPkg = "repro/internal/telemetry"
+
+// kindUnknown makes telemetry.ValidateName check only the generic shape
+// (iofwd_ prefix, snake_case) when the instrument kind cannot be resolved.
+const kindUnknown = telemetry.Kind(-1)
+
+// registryMethodKinds maps telemetry.Registry constructor methods to the
+// kind of instrument they register. Register/MustRegister are resolved from
+// the static type of their metric argument instead.
+var registryMethodKinds = map[string]telemetry.Kind{
+	"Counter":   telemetry.KindCounter,
+	"Gauge":     telemetry.KindGauge,
+	"GaugeFunc": telemetry.KindGauge,
+	"MaxGauge":  telemetry.KindGauge,
+	"Histogram": telemetry.KindHistogram,
+}
+
+// NewMetricname returns the metricname analyzer: every metric name literal
+// registered on a telemetry.Registry must follow the convention enforced by
+// telemetry.ValidateName (iofwd_ prefix, snake_case, _total on counters, a
+// unit suffix on histograms), and a name must keep one instrument kind
+// across the whole repository — the Prometheus exposition format cannot
+// represent a name that is a counter in one package and a gauge in another.
+func NewMetricname() *Analyzer {
+	// seen accumulates across packages within one driver run so
+	// kind conflicts are caught repo-wide.
+	type regSite struct {
+		kind telemetry.Kind
+		pos  token.Pos
+	}
+	seen := make(map[string]regSite)
+
+	return &Analyzer{
+		Name: "metricname",
+		Doc:  "metric names registered on telemetry.Registry must be iofwd_-prefixed snake_case with kind-appropriate suffixes, and keep one kind repo-wide",
+		Run: func(pass *Pass) error {
+			for _, file := range pass.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					method, ok := registryMethod(pass, call)
+					if !ok || len(call.Args) == 0 {
+						return true
+					}
+					name, ok := stringLiteral(call.Args[0])
+					if !ok {
+						return true
+					}
+					kind := kindUnknown
+					if k, ok := registryMethodKinds[method]; ok {
+						kind = k
+					} else if len(call.Args) >= 3 { // Register/MustRegister(name, help, metric, ...)
+						kind = metricArgKind(pass, call.Args[2])
+					}
+					if err := telemetry.ValidateName(name, kind); err != nil {
+						pass.Reportf(call.Args[0].Pos(), "%v", err)
+					}
+					if kind != kindUnknown {
+						if prev, ok := seen[name]; ok && prev.kind != kind {
+							pass.Reportf(call.Args[0].Pos(),
+								"metric %q registered as %s here but as %s elsewhere; one name must keep one instrument kind",
+								name, kind, prev.kind)
+						} else if !ok {
+							seen[name] = regSite{kind: kind, pos: call.Args[0].Pos()}
+						}
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+// registryMethod returns the method name if call is a method call on
+// *telemetry.Registry.
+func registryMethod(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || pass.Info == nil {
+		return "", false
+	}
+	fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if named.Obj().Pkg().Path() != registryPkg {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// metricArgKind infers the instrument kind from the static type of a
+// Register/MustRegister metric argument.
+func metricArgKind(pass *Pass, arg ast.Expr) telemetry.Kind {
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Type == nil {
+		return kindUnknown
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != registryPkg {
+		return kindUnknown
+	}
+	switch named.Obj().Name() {
+	case "Counter":
+		return telemetry.KindCounter
+	case "Gauge", "GaugeFunc", "MaxGauge":
+		return telemetry.KindGauge
+	case "Histogram":
+		return telemetry.KindHistogram
+	}
+	return kindUnknown
+}
+
+// stringLiteral evaluates e if it is a string literal or a concatenation
+// of string literals.
+func stringLiteral(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.STRING {
+			return "", false
+		}
+		s, err := strconv.Unquote(e.Value)
+		return s, err == nil
+	case *ast.BinaryExpr:
+		if e.Op != token.ADD {
+			return "", false
+		}
+		l, ok1 := stringLiteral(e.X)
+		r, ok2 := stringLiteral(e.Y)
+		return l + r, ok1 && ok2
+	case *ast.ParenExpr:
+		return stringLiteral(e.X)
+	}
+	return "", false
+}

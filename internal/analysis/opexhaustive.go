@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+)
+
+// NewOpexhaustive returns the opexhaustive analyzer: every Op constant in
+// internal/core must be (1) dispatched by the server — a case in some
+// switch inside a *Server / *serverConn method, (2) stringable — a case in
+// Op.String(), and (3) countable — covered by the opCount constant that
+// sizes the per-op metric arrays (opCount must be max(Op)+1, or the new
+// op's metrics silently collapse into the "other" label). A future PR that
+// adds an opcode and forgets any of the three gets a diagnostic at the
+// constant's declaration.
+func NewOpexhaustive() *Analyzer {
+	return &Analyzer{
+		Name:  "opexhaustive",
+		Doc:   "every Op constant needs a server dispatch case, a String() case, and opCount coverage for its metrics label",
+		Scope: func(path string) bool { return path == "repro/internal/core" },
+		Run:   runOpexhaustive,
+	}
+}
+
+// dispatchReceivers are the method receiver type names whose switches count
+// as server-side dispatch.
+var dispatchReceivers = map[string]bool{"Server": true, "serverConn": true}
+
+func runOpexhaustive(pass *Pass) error {
+	opType, consts := opConstants(pass)
+	if opType == nil || len(consts) == 0 {
+		return nil // no Op type in this package; nothing to enforce
+	}
+
+	inString := make(map[types.Object]bool)
+	inDispatch := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv := receiverTypeName(fd)
+			isString := fd.Name.Name == "String" && recv == "Op"
+			isDispatch := dispatchReceivers[recv]
+			if !isString && !isDispatch {
+				continue
+			}
+			collectOpCases(pass, fd.Body, func(obj types.Object) {
+				if isString {
+					inString[obj] = true
+				} else {
+					inDispatch[obj] = true
+				}
+			})
+		}
+	}
+
+	var maxVal int64
+	var maxName string
+	for _, c := range consts {
+		if v := constInt(c); v > maxVal {
+			maxVal, maxName = v, c.Name()
+		}
+	}
+	for _, c := range consts {
+		if !inString[c] {
+			pass.Reportf(c.Pos(), "%s has no case in Op.String(); logs and metric labels will show op(%d)", c.Name(), constInt(c))
+		}
+		if !inDispatch[c] {
+			pass.Reportf(c.Pos(), "%s has no dispatch case in any *Server/*serverConn switch; the server cannot execute it", c.Name())
+		}
+	}
+
+	if cnt := pass.Pkg.Scope().Lookup("opCount"); cnt != nil {
+		if cc, ok := cnt.(*types.Const); ok {
+			if v, ok := constant.Int64Val(constant.ToInt(cc.Val())); ok && v != maxVal+1 {
+				pass.Reportf(cc.Pos(),
+					"opCount = %d but the highest Op is %s = %d; per-op metric slots will collapse ops above opCount into the \"other\" label (want opCount = int(%s) + 1)",
+					v, maxName, maxVal, maxName)
+			}
+		}
+	}
+	return nil
+}
+
+// opConstants returns the package's named type Op and its typed constants
+// in declaration order.
+func opConstants(pass *Pass) (*types.Named, []*types.Const) {
+	obj := pass.Pkg.Scope().Lookup("Op")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	var consts []*types.Const
+	for _, name := range pass.Pkg.Scope().Names() {
+		if c, ok := pass.Pkg.Scope().Lookup(name).(*types.Const); ok && c.Type() == named.Obj().Type() {
+			consts = append(consts, c)
+		}
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i].Pos() < consts[j].Pos() })
+	return named, consts
+}
+
+func constInt(c *types.Const) int64 {
+	v, _ := constant.Int64Val(constant.ToInt(c.Val()))
+	return v
+}
+
+// receiverTypeName returns the bare receiver type name of fd ("" for
+// functions).
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// collectOpCases invokes found for every Op constant referenced in a case
+// clause of any switch inside body.
+func collectOpCases(pass *Pass, body *ast.BlockStmt, found func(types.Object)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			id := caseIdent(e)
+			if id == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Uses[id].(*types.Const); ok {
+				found(obj)
+			}
+		}
+		return true
+	})
+}
+
+// caseIdent unwraps a case expression to its identifier (handles pkg-
+// qualified selectors for cross-package fixtures).
+func caseIdent(e ast.Expr) *ast.Ident {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	case *ast.ParenExpr:
+		return caseIdent(e.X)
+	}
+	return nil
+}

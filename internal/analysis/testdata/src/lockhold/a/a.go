@@ -1,0 +1,117 @@
+// Package a is the lockhold fixture: blocking operations under a held
+// sync.Mutex/RWMutex must be flagged; the unlock-before-block and
+// Cond-Wait-in-for patterns must not.
+package a
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type T struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	wg   sync.WaitGroup
+	ch   chan int
+	conn net.Conn
+}
+
+func (t *T) sendUnderLock() {
+	t.mu.Lock()
+	t.ch <- 1 // want "channel send while holding t.mu"
+	t.mu.Unlock()
+}
+
+func (t *T) recvUnderDeferredUnlock() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return <-t.ch // want "channel receive while holding t.mu"
+}
+
+func (t *T) sleepUnderRLock() {
+	t.rw.RLock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding t.rw"
+	t.rw.RUnlock()
+}
+
+func (t *T) selectNoDefault() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select { // want "select without default blocks while holding t.mu"
+	case <-t.ch:
+	}
+}
+
+func (t *T) selectWithDefault() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case v := <-t.ch:
+		return v
+	default:
+	}
+	return 0
+}
+
+func (t *T) netIOUnderLock(buf []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, _ = t.conn.Write(buf) // want "net.Conn Write while holding t.mu"
+}
+
+func (t *T) condWaitDocumented(ready func() bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for !ready() {
+		t.cond.Wait() // documented pattern: for-loop recheck, lock held
+	}
+}
+
+func (t *T) condWaitBare() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cond.Wait() // want "sync.Cond Wait outside the documented for-loop recheck pattern"
+}
+
+func (t *T) waitGroupUnderLock() {
+	t.mu.Lock()
+	t.wg.Wait() // want "sync.WaitGroup Wait while holding t.mu"
+	t.mu.Unlock()
+}
+
+func (t *T) unlockBeforeBlocking() {
+	t.mu.Lock()
+	ch := t.ch
+	t.mu.Unlock()
+	<-ch // fine: the lock was released first (the BML admission pattern)
+}
+
+func (t *T) guardReturnKeepsHeld() {
+	t.mu.Lock()
+	if t.ch == nil {
+		t.mu.Unlock()
+		return
+	}
+	t.ch <- 1 // want "channel send while holding t.mu"
+	t.mu.Unlock()
+}
+
+func (t *T) deliverLocked() {
+	// The *Locked naming convention means the caller holds the lock.
+	t.ch <- 1 // want "channel send while holding caller's lock"
+}
+
+func (t *T) allowedSend() {
+	t.mu.Lock()
+	//lint:allow lockhold fixture channel is buffered, send cannot block
+	t.ch <- 1
+	t.mu.Unlock()
+}
+
+func (t *T) goroutineEscapes() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	go func() { t.ch <- 1 }() // fine: runs on another goroutine
+}

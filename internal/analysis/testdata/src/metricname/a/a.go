@@ -1,0 +1,28 @@
+// Package a is the metricname fixture: names registered on a
+// telemetry.Registry must be iofwd_-prefixed snake_case with
+// kind-appropriate suffixes.
+package a
+
+import "repro/internal/telemetry"
+
+func register(reg *telemetry.Registry) {
+	reg.Counter("iofwd_good_total", "ok.")
+	reg.Histogram("iofwd_latency_ns", "ok.")
+	reg.Histogram("iofwd_payload_bytes", "ok.")
+	reg.Gauge("iofwd_queue_depth", "ok.")
+	reg.GaugeFunc("iofwd_pool_bytes", "ok.", func() int64 { return 0 })
+	reg.MaxGauge("iofwd_peak_bytes", "ok.")
+	reg.MustRegister("iofwd_wait_ns", "ok: histogram inferred from arg type.", &telemetry.Histogram{})
+
+	reg.Counter("requests_total", "bad.")                                                          // want "not iofwd_-prefixed snake_case"
+	reg.Counter("iofwd_requests", "bad.")                                                          // want "must end in _total"
+	reg.Histogram("iofwd_batch_size", "bad.")                                                      // want "must end in a unit suffix"
+	reg.Gauge("iofwd_depth_total", "bad.")                                                         // want "must not end in _total"
+	reg.Counter("iofwd_MixedCase_total", "bad")                                                    // want "not iofwd_-prefixed snake_case"
+	reg.MustRegister("iofwd_allocs", "bad: counter inferred from arg type.", &telemetry.Counter{}) // want "must end in _total"
+
+	reg.Histogram("iofwd_cross_ops", "first registration: histogram.")
+
+	//lint:allow metricname grandfathered exporter name kept for dashboard compatibility
+	reg.Counter("legacy_requests_total", "suppressed.")
+}

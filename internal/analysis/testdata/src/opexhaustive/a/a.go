@@ -1,0 +1,47 @@
+// Package a is the opexhaustive fixture: a miniature of internal/core's
+// opcode plumbing with deliberate gaps in each of the three places a new
+// opcode must appear (server dispatch, String, opCount).
+package a
+
+import "fmt"
+
+// Op mimics the wire opcode type.
+type Op uint8
+
+// Opcodes. OpWrite is missing from String, OpPoll from dispatch, and
+// OpReserved from both (suppressed); opCount is stale.
+const (
+	OpOpen Op = iota + 1
+	OpClose
+	OpWrite // want "OpWrite has no case in Op.String"
+	//lint:allow opexhaustive reserved opcode is intentionally unimplemented until the protocol bump
+	OpReserved
+	OpPoll // want "OpPoll has no dispatch case in any .Server/.serverConn switch"
+)
+
+// opCount is stale: it should be int(OpPoll) + 1.
+const opCount = int(OpWrite) + 1 // want "opCount = 4 but the highest Op is OpPoll = 5"
+
+func (o Op) String() string {
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpClose:
+		return "close"
+	case OpPoll:
+		return "poll"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+type serverConn struct{}
+
+func (c *serverConn) handleOp(op Op) error {
+	switch op {
+	case OpOpen, OpClose:
+		return nil
+	case OpWrite:
+		return nil
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+// Package a is the simclock fixture: wall-clock reads and global math/rand
+// use must be flagged; explicitly seeded sources and duration arithmetic
+// must not.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()                     // want "time.Now reads the wall clock"
+	time.Sleep(time.Second)            // want "time.Sleep blocks on the wall clock"
+	<-time.After(time.Second)          // want "time.After waits on the wall clock"
+	_ = time.Tick(time.Second)         // want "time.Tick ticks on the wall clock"
+	_ = time.NewTimer(time.Second)     // want "time.NewTimer schedules on the wall clock"
+	_ = time.Since(time.Time{})        // want "time.Since reads the wall clock"
+	_ = rand.Intn(10)                  // want "rand.Intn uses the global math/rand state"
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle uses the global math/rand state"
+	_ = rand.Float64()                 // want "rand.Float64 uses the global math/rand state"
+}
+
+func good(seed int64) {
+	r := rand.New(rand.NewSource(seed)) // seeded constructor: the blessed pattern
+	_ = r.Intn(10)                      // method on a seeded *rand.Rand, not the global state
+	d := 5 * time.Second                // duration arithmetic never reads the clock
+	var t0 time.Time                    // time.Time values are data, not clock reads
+	_ = t0.Add(d)
+}
+
+func allowed() {
+	//lint:allow simclock fixture demonstrates documented suppression
+	time.Sleep(time.Millisecond)
+}
+
+func allowedTrailing() {
+	time.Sleep(time.Millisecond) //lint:allow simclock trailing-form suppression also works
+}

@@ -302,6 +302,7 @@ func (c *Client) connFailed(gen uint64, cause error) {
 		}
 		delete(c.pending, id)
 		c.met.lostOps.Inc()
+		//lint:allow lockhold pc.ch is buffered (cap 1) with exactly one send per call, so this send never blocks
 		pc.ch <- callResult{err: fmt.Errorf("%w: %v", ErrConnectionLost, cause)}
 	}
 	files := make([]*openFile, 0, len(c.files))
@@ -318,6 +319,7 @@ func (c *Client) failLocked(err error) {
 	c.lastErr = err
 	for id, pc := range c.pending {
 		delete(c.pending, id)
+		//lint:allow lockhold pc.ch is buffered (cap 1) with exactly one send per call, so this send never blocks
 		pc.ch <- callResult{err: err}
 	}
 	select {

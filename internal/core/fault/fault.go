@@ -176,10 +176,12 @@ func (h *handle) before() verdict {
 	v := b.decide()
 	if v.latency && b.cfg.Latency > 0 {
 		b.latencies.Inc()
+		//lint:allow simclock injecting real wall-clock latency into the real server path is this backend's purpose; the *schedule* stays a pure function of (seed, op index)
 		time.Sleep(b.cfg.Latency)
 	}
 	if v.stall && b.cfg.Stall > 0 {
 		b.stalls.Inc()
+		//lint:allow simclock injecting a real wall-clock stall into the real server path is this backend's purpose; the *schedule* stays a pure function of (seed, op index)
 		time.Sleep(b.cfg.Stall)
 	}
 	if v.panicy {

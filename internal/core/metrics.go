@@ -113,7 +113,7 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 	m.stageBackend = stage("backend")
 	m.stageReply = stage("reply")
 
-	m.batchSize = reg.Histogram("iofwd_worker_batch_size",
+	m.batchSize = reg.Histogram("iofwd_worker_batch_ops",
 		"Tasks dequeued per worker wakeup (the event-loop multiplexing depth).")
 	m.batches = reg.Counter("iofwd_worker_batches_total",
 		"Worker wakeups that dequeued at least one task.")

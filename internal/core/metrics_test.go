@@ -232,7 +232,7 @@ func TestMetricsPrometheusEndToEnd(t *testing.T) {
 		"# TYPE iofwd_bml_used_bytes gauge",
 		"iofwd_bml_capacity_bytes",
 		"# TYPE iofwd_stage_latency_ns histogram",
-		`iofwd_worker_batch_size_count`,
+		`iofwd_worker_batch_ops_count`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("/metrics output missing %q", want)

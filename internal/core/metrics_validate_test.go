@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestRegisteredMetricNamesValidate holds every metric the forwarding stack
+// registers — server families and client fault counters — to the naming
+// convention the metricname analyzer enforces on literals: iofwd_ snake_case,
+// _total counters, unit-suffixed histograms. Names built dynamically would
+// slip past the analyzer; this closes that gap at runtime.
+func TestRegisteredMetricNamesValidate(t *testing.T) {
+	reg := telemetry.NewRegistry()
+
+	s := NewServer(Config{Mode: ModeAsync, Metrics: reg})
+	defer s.Close()
+
+	var cm clientMetrics
+	cm.register(reg)
+
+	fams := reg.Snapshot()
+	if len(fams) == 0 {
+		t.Fatal("no metric families registered")
+	}
+	for _, f := range fams {
+		kind, ok := telemetry.KindFromString(f.Kind)
+		if !ok {
+			t.Errorf("metric %q has unknown kind %q", f.Name, f.Kind)
+			continue
+		}
+		if err := telemetry.ValidateName(f.Name, kind); err != nil {
+			t.Errorf("registered metric fails naming convention: %v", err)
+		}
+	}
+}

@@ -113,10 +113,10 @@ func (h *header) encode(b *[headerSize]byte) {
 
 func decodeHeader(b *[headerSize]byte, h *header) error {
 	if binary.BigEndian.Uint32(b[0:]) != protoMagic {
-		return fmt.Errorf("core: bad magic %#x", binary.BigEndian.Uint32(b[0:]))
+		return fmt.Errorf("%w: bad frame magic %#x", EINVAL, binary.BigEndian.Uint32(b[0:]))
 	}
 	if b[4] != protoVersion {
-		return fmt.Errorf("core: unsupported protocol version %d", b[4])
+		return fmt.Errorf("%w: unsupported protocol version %d", EINVAL, b[4])
 	}
 	h.op = Op(b[5])
 	h.flags = binary.BigEndian.Uint16(b[6:])

@@ -248,7 +248,7 @@ func (c *serverConn) run() (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.srv.metrics.connPanics.Inc()
-			err = fmt.Errorf("core: connection handler recovered panic: %v", r)
+			err = fmt.Errorf("%w: connection handler recovered panic: %v", EIO, r)
 		}
 	}()
 	var h header
@@ -394,7 +394,7 @@ func (c *serverConn) handleWrite(h *header, start time.Time) error {
 	s := c.srv
 	m := s.metrics
 	if h.length > MaxPayload {
-		return fmt.Errorf("core: oversized write %d", h.length)
+		return fmt.Errorf("%w: oversized write %d", EINVAL, h.length)
 	}
 	d, ok := c.db.lookup(h.fd)
 	if !ok {
@@ -522,7 +522,7 @@ func (c *serverConn) handleRead(h *header) error {
 	s := c.srv
 	m := s.metrics
 	if h.length > MaxPayload {
-		return fmt.Errorf("core: oversized read %d", h.length)
+		return fmt.Errorf("%w: oversized read %d", EINVAL, h.length)
 	}
 	d, ok := c.db.lookup(h.fd)
 	if !ok {

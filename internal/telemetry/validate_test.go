@@ -1,0 +1,48 @@
+package telemetry
+
+import "testing"
+
+func TestValidateName(t *testing.T) {
+	cases := []struct {
+		name string
+		kind Kind
+		ok   bool
+	}{
+		{"iofwd_requests_total", KindCounter, true},
+		{"iofwd_request_latency_ns", KindHistogram, true},
+		{"iofwd_request_bytes", KindHistogram, true},
+		{"iofwd_worker_batch_ops", KindHistogram, true},
+		{"iofwd_queue_depth", KindGauge, true},
+		{"iofwd_bml_peak_bytes", KindGauge, true},
+
+		{"requests_total", KindCounter, false},            // missing prefix
+		{"iofwd_requests", KindCounter, false},            // counter without _total
+		{"iofwd_worker_batch_size", KindHistogram, false}, // histogram without unit
+		{"iofwd_shed_total", KindGauge, false},            // gauge posing as counter
+		{"iofwd_BadCase_total", KindCounter, false},       // not snake_case
+		{"iofwd__double_total", KindCounter, false},       // empty segment
+		{"iofwd_", KindCounter, false},
+		{"", KindGauge, false},
+	}
+	for _, c := range cases {
+		err := ValidateName(c.name, c.kind)
+		if c.ok && err != nil {
+			t.Errorf("ValidateName(%q, %v) = %v, want nil", c.name, c.kind, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ValidateName(%q, %v) = nil, want error", c.name, c.kind)
+		}
+	}
+}
+
+func TestKindFromString(t *testing.T) {
+	for _, k := range []Kind{KindCounter, KindGauge, KindHistogram} {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Errorf("KindFromString(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := KindFromString("summary"); ok {
+		t.Error("KindFromString(summary) unexpectedly ok")
+	}
+}
