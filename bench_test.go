@@ -178,6 +178,14 @@ func BenchmarkAblationQueueDiscipline(b *testing.B) {
 		cfg.Batch = 1
 		reportE2E(b, cfg)
 	})
+	// Sharded mirrors the production scheduler (per-worker shards, FD
+	// homing, work stealing); same caveat as LeastLoaded about sink-bound
+	// throughput, but it validates the model end to end.
+	b.Run("sharded", func(b *testing.B) {
+		cfg := base
+		cfg.Discipline = iofwd.Sharded
+		reportE2E(b, cfg)
+	})
 }
 
 // BenchmarkAblationBatchDepth — the event-loop multiplexing depth (paper:

@@ -35,6 +35,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "address to listen on")
 	mode := flag.String("mode", "async", "execution model: direct | workqueue | async")
 	workers := flag.Int("workers", 4, "worker pool size (paper default: 4)")
+	shards := flag.Int("shards", 0, "scheduler shard count (0 = one per worker, capped at GOMAXPROCS)")
 	batch := flag.Int("batch", 8, "tasks dequeued per worker wakeup")
 	bmlMiB := flag.Int64("bml", 256, "staging memory cap in MiB")
 	backendKind := flag.String("backend", "mem", "backend: mem | null | file | sink")
@@ -90,6 +91,7 @@ func main() {
 	srv := core.NewServer(core.Config{
 		Mode:           m,
 		Workers:        *workers,
+		Shards:         *shards,
 		Batch:          *batch,
 		BMLBytes:       *bmlMiB << 20,
 		Backend:        backend,

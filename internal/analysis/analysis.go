@@ -81,6 +81,7 @@ func Analyzers() []*Analyzer {
 		NewMetricname(),
 		NewErrnowrap(),
 		NewOpexhaustive(),
+		NewGoroleak(),
 	}
 }
 

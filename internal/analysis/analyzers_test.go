@@ -28,6 +28,10 @@ func TestOpexhaustiveFixture(t *testing.T) {
 	analysistest.Run(t, analysis.NewOpexhaustive, "opexhaustive")
 }
 
+func TestGoroleakFixture(t *testing.T) {
+	analysistest.Run(t, analysis.NewGoroleak, "goroleak")
+}
+
 // TestSuiteCleanOnRepo is the revert guard: the committed tree must be
 // free of findings. Reintroducing global math/rand in internal/sim, a
 // blocking op under a core lock, a malformed metric name, an unwrapped
@@ -76,6 +80,11 @@ func TestScopes(t *testing.T) {
 
 		{"opexhaustive", "repro/internal/core", true},
 		{"opexhaustive", "repro/internal/telemetry", false},
+
+		{"goroleak", "repro/internal/core", true},
+		{"goroleak", "repro/internal/core/fault", true},
+		{"goroleak", "repro/internal/telemetry", false},
+		{"goroleak", "repro/internal/sim", false}, // sim procs are engine-joined, not WaitGroup-joined
 	}
 	for _, c := range cases {
 		scope := byName[c.analyzer]
@@ -109,7 +118,7 @@ func TestAnalyzerDocs(t *testing.T) {
 			t.Errorf("analyzer name %q contains whitespace (breaks //lint:allow parsing)", a.Name)
 		}
 	}
-	for _, want := range []string{"simclock", "lockhold", "metricname", "errnowrap", "opexhaustive"} {
+	for _, want := range []string{"simclock", "lockhold", "metricname", "errnowrap", "opexhaustive", "goroleak"} {
 		if !names[want] {
 			t.Errorf("suite missing analyzer %s", want)
 		}

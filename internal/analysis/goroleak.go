@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewGoroleak returns the goroleak analyzer: every `go` statement in the
+// forwarding server must spawn a joinable goroutine. Concretely, the spawned
+// function (literal or same-package function/method) must call Done on a
+// sync.WaitGroup, and that WaitGroup's Wait must be either in the spawning
+// function itself (the scoped spawn-and-join pattern) or in a function
+// reachable from some Close via the in-package call graph — the shutdown
+// path. A goroutine with no such join outlives Close invisibly: it races
+// resource teardown and leaks under the repo's goroutine-per-connection
+// design. Deliberately unjoined goroutines (e.g. per-connection handlers
+// that exit when their connection closes) must carry a //lint:allow with the
+// reason.
+//
+// The analysis is per-package and call-graph approximate: calls through
+// function values or interfaces are not edges, and a Done anywhere in the
+// spawned body (including under defer) counts.
+func NewGoroleak() *Analyzer {
+	return &Analyzer{
+		Name:  "goroleak",
+		Doc:   "flags go statements whose goroutine has no WaitGroup join reachable from Close",
+		Scope: scopePrefixes("repro/internal/core"),
+		Run:   runGoroleak,
+	}
+}
+
+func runGoroleak(pass *Pass) error {
+	if pass.Info == nil {
+		return nil
+	}
+	g := &goroleakPass{
+		pass:  pass,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		calls: make(map[*ast.FuncDecl][]*ast.FuncDecl),
+		waits: make(map[types.Object][]*ast.FuncDecl),
+	}
+	g.collect()
+	g.markReachableFromClose()
+	g.checkGoStmts()
+	return nil
+}
+
+type goroleakPass struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+	calls map[*ast.FuncDecl][]*ast.FuncDecl
+	// waits maps a WaitGroup object (field or variable) to the declarations
+	// containing a Wait call on it.
+	waits     map[types.Object][]*ast.FuncDecl
+	reachable map[*ast.FuncDecl]bool
+}
+
+// collect indexes declarations, builds the in-package call graph, and
+// records every WaitGroup Wait site.
+func (g *goroleakPass) collect() {
+	info := g.pass.Info
+	for _, file := range g.pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				g.decls[fn] = fd
+			}
+		}
+	}
+	for _, fd := range g.decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calledFunc(g.pass, call)
+			if callee == nil {
+				return true
+			}
+			if target, ok := g.decls[callee]; ok {
+				g.calls[fd] = append(g.calls[fd], target)
+			}
+			if callee.FullName() == "(*sync.WaitGroup).Wait" {
+				if obj := methodRecvObject(g.pass, call); obj != nil {
+					g.waits[obj] = append(g.waits[obj], fd)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// markReachableFromClose BFSes the call graph from every function or method
+// named Close.
+func (g *goroleakPass) markReachableFromClose() {
+	g.reachable = make(map[*ast.FuncDecl]bool)
+	var frontier []*ast.FuncDecl
+	for _, fd := range g.decls {
+		if fd.Name.Name == "Close" {
+			g.reachable[fd] = true
+			frontier = append(frontier, fd)
+		}
+	}
+	for len(frontier) > 0 {
+		fd := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, callee := range g.calls[fd] {
+			if !g.reachable[callee] {
+				g.reachable[callee] = true
+				frontier = append(frontier, callee)
+			}
+		}
+	}
+}
+
+// checkGoStmts verifies every go statement against the join rule.
+func (g *goroleakPass) checkGoStmts() {
+	for _, fd := range sortedDecls(g.decls) {
+		fd := fd
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			g.checkGo(gs, fd)
+			return true
+		})
+	}
+}
+
+// sortedDecls returns the declarations in source order so diagnostics are
+// deterministic.
+func sortedDecls(decls map[*types.Func]*ast.FuncDecl) []*ast.FuncDecl {
+	out := make([]*ast.FuncDecl, 0, len(decls))
+	for _, fd := range decls {
+		out = append(out, fd)
+	}
+	for a := 1; a < len(out); a++ {
+		for b := a; b > 0 && out[b].Pos() < out[b-1].Pos(); b-- {
+			out[b], out[b-1] = out[b-1], out[b]
+		}
+	}
+	return out
+}
+
+func (g *goroleakPass) checkGo(gs *ast.GoStmt, enclosing *ast.FuncDecl) {
+	body := g.spawnedBody(gs.Call)
+	if body == nil {
+		g.pass.Reportf(gs.Pos(), "go statement spawns a function with no visible body in this package; its WaitGroup join cannot be verified (//lint:allow goroleak <reason> if it is joined another way)")
+		return
+	}
+	wgs := doneObjects(g.pass, body)
+	if len(wgs) == 0 {
+		g.pass.Reportf(gs.Pos(), "go statement spawns a goroutine with no WaitGroup Done; it cannot be joined from Close (add a join or //lint:allow goroleak <reason>)")
+		return
+	}
+	// The goroutine passes if any Done'd WaitGroup has a Wait in the
+	// spawning function (scoped join) or in a function reachable from Close.
+	var sawWait bool
+	for _, obj := range wgs {
+		for _, waiter := range g.waits[obj] {
+			sawWait = true
+			if waiter == enclosing || g.reachable[waiter] {
+				return
+			}
+		}
+	}
+	name := wgs[0].Name()
+	if !sawWait {
+		g.pass.Reportf(gs.Pos(), "goroutine's WaitGroup %s is never Waited; the goroutine cannot be joined", name)
+		return
+	}
+	g.pass.Reportf(gs.Pos(), "goroutine's WaitGroup %s has a Wait, but it is not reachable from Close (shutdown cannot join this goroutine)", name)
+}
+
+// spawnedBody returns the body the go statement runs: a function literal's
+// body, or the declaration body of a same-package function or method.
+func (g *goroleakPass) spawnedBody(call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	default:
+		if fn := calledFunc(g.pass, call); fn != nil {
+			if fd, ok := g.decls[fn]; ok {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// doneObjects returns the WaitGroup objects Done'd anywhere in body.
+func doneObjects(pass *Pass, body *ast.BlockStmt) []types.Object {
+	var out []types.Object
+	seen := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calledFunc(pass, call)
+		if fn == nil || fn.FullName() != "(*sync.WaitGroup).Done" {
+			return true
+		}
+		if obj := methodRecvObject(pass, call); obj != nil && !seen[obj] {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// calledFunc resolves a call expression to the *types.Func it invokes, or
+// nil for calls through function values, builtins, or conversions.
+func calledFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// methodRecvObject resolves the receiver of a method call like
+// s.workerWG.Wait() to the object naming the receiver value — the struct
+// field or variable — so the same WaitGroup is recognized across functions.
+func methodRecvObject(pass *Pass, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return recvObject(pass, sel.X)
+}
+
+func recvObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if o := pass.Info.Uses[e]; o != nil {
+			return o
+		}
+		return pass.Info.Defs[e]
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[e]; ok {
+			return s.Obj()
+		}
+		return pass.Info.Uses[e.Sel]
+	case *ast.ParenExpr:
+		return recvObject(pass, e.X)
+	case *ast.UnaryExpr:
+		return recvObject(pass, e.X)
+	case *ast.StarExpr:
+		return recvObject(pass, e.X)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+// Package a is the goroleak fixture: every go statement must spawn a
+// goroutine whose WaitGroup join (Done in the body, Wait on the same
+// WaitGroup) is in the spawning function or reachable from a Close; unjoined
+// spawns are flagged unless a //lint:allow documents why.
+package a
+
+import "sync"
+
+// S is the well-behaved shape: worker goroutines joined by Close.
+type S struct {
+	wg     sync.WaitGroup
+	lostWG sync.WaitGroup
+}
+
+func (s *S) Start() {
+	for i := 0; i < 4; i++ {
+		s.wg.Add(1)
+		go s.worker() // ok: Done in worker, Wait reachable from Close
+	}
+}
+
+func (s *S) worker() {
+	defer s.wg.Done()
+}
+
+func (s *S) Close() {
+	s.wg.Wait()
+}
+
+func (s *S) spawnNoJoin() {
+	go func() {}() // want "no WaitGroup Done"
+}
+
+func (s *S) spawnNeverWaited() {
+	s.lostWG.Add(1)
+	go func() { defer s.lostWG.Done() }() // want "never Waited"
+}
+
+func (s *S) spawnForeign() {
+	go external() // want "no visible body"
+}
+
+// external is a function value, so the spawned body is invisible to the
+// in-package analysis.
+var external func()
+
+func (s *S) allowedHandler() {
+	//lint:allow goroleak per-connection handler exits when its conn closes
+	go func() {}()
+}
+
+// T has a join, but nothing named Close ever reaches it.
+type T struct {
+	wg sync.WaitGroup
+}
+
+func (t *T) spawnWaitNotFromClose() {
+	t.wg.Add(1)
+	go func() { defer t.wg.Done() }() // want "not reachable from Close"
+}
+
+func (t *T) join() { t.wg.Wait() }
+
+// scopedJoin is the spawn-and-join-in-place pattern: fine without Close.
+func scopedJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }() // ok: Wait in the spawning function
+	wg.Wait()
+}
+
+// U joins through a helper on the Close path: reachability must follow the
+// in-package call graph, not just Close's own body.
+type U struct{ wg sync.WaitGroup }
+
+func (u *U) Start() {
+	u.wg.Add(1)
+	go u.run() // ok: Wait reachable from Close via shutdown
+}
+
+func (u *U) run() { defer u.wg.Done() }
+
+func (u *U) Close() { u.shutdown() }
+
+func (u *U) shutdown() { u.wg.Wait() }

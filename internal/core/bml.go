@@ -166,6 +166,25 @@ func (b *BML) GetTimeout(n int, d time.Duration) ([]byte, bool) {
 	return buf[:n], true
 }
 
+// Lease returns a reply-frame buffer: headerSize bytes of header room
+// followed by n payload bytes, all in one pooled allocation. Backends read
+// directly into frame[headerSize:headerSize+n], the connection writer
+// encodes the response header into frame[:headerSize] and writes the whole
+// frame with a single conn write, then returns it with Put — the zero-copy
+// reply path (no scratch-buffer copy, no separate header write). Lease
+// blocks under the capacity cap exactly like Get; the caller owns the full
+// frame and must Put it exactly once.
+func (b *BML) Lease(n int) []byte {
+	return b.Get(headerSize + n)
+}
+
+// LeaseFits reports whether a Lease for n payload bytes can ever be
+// admitted: the padded power-of-2 class must not exceed the pool capacity.
+// Callers reject oversized reads up front instead of panicking in Get.
+func (b *BML) LeaseFits(n int) bool {
+	return classFor(headerSize+n) <= b.capacity
+}
+
 // Put returns a buffer obtained from Get. The buffer must not be used after
 // Put.
 func (b *BML) Put(buf []byte) {

@@ -211,6 +211,7 @@ func NewClient(nc net.Conn, opts ...Option) *Client {
 	if o.reg != nil {
 		c.met.register(o.reg)
 	}
+	//lint:allow goroleak readLoop exits on its conn's read error; Client.Close closes nc, which unblocks and ends it
 	go c.readLoop(nc, c.gen)
 	return c
 }
@@ -310,6 +311,7 @@ func (c *Client) connFailed(gen uint64, cause error) {
 		files = append(files, f)
 	}
 	c.mu.Unlock()
+	//lint:allow goroleak reconnect is one-shot and self-terminating: it exits after redial success, retry exhaustion, or observing the client closed
 	go c.reconnect(cause, files, replay, replayIDs)
 }
 
@@ -375,6 +377,7 @@ func (c *Client) reconnect(cause error, files []*openFile, replay []*pendingCall
 		close(c.ready)
 		c.mu.Unlock()
 		c.met.reconnects.Inc()
+		//lint:allow goroleak replacement readLoop exits on its conn's read error; Client.Close closes the live nc, which unblocks and ends it
 		go c.readLoop(nc, gen)
 		// Replay idempotent in-flight ops with their original request ids;
 		// responses route through the new readLoop to the original callers.

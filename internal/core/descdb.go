@@ -2,14 +2,30 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 )
+
+// descSeq hands out global descriptor sequence ids. The scheduler hashes
+// tasks to shards by sid, so a fresh ticket per open — rather than the
+// per-connection fd, which restarts at 3 on every connection — spreads
+// descriptors round-robin across shards.
+var descSeq atomic.Uint64
 
 // descriptor is one open descriptor in the server's database (paper Section
 // IV): it tracks the backing handle, a cursor for sequential operations, an
 // operation counter, the set of in-progress staged operations, and the first
 // unreported deferred error.
+//
+// Ordering contract: all of a descriptor's queued operations live on one
+// scheduler shard (hashed by sid) and the scheduler never runs two of them
+// concurrently, so staged operations execute in opNum order. Offsets are
+// still reserved at staging time, and the deferred-error bookkeeping in
+// complete() remains exactly-once regardless of execution interleaving — the
+// contract makes execution order deterministic, it is not load-bearing for
+// data placement.
 type descriptor struct {
 	fd     uint64
+	sid    uint64 // scheduler shard ticket, from descSeq
 	handle Handle
 	name   string
 	// met, when non-nil, receives in-flight and deferred-error telemetry
@@ -28,7 +44,7 @@ type descriptor struct {
 }
 
 func newDescriptor(fd uint64, name string, h Handle) *descriptor {
-	d := &descriptor{fd: fd, name: name, handle: h}
+	d := &descriptor{fd: fd, sid: descSeq.Add(1), name: name, handle: h}
 	d.idle = sync.NewCond(&d.mu)
 	return d
 }

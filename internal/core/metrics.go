@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strconv"
+
 	"repro/internal/telemetry"
 )
 
@@ -57,6 +59,10 @@ type serverMetrics struct {
 	// Scheduler behaviour.
 	batchSize *telemetry.Histogram
 	batches   *telemetry.Counter
+
+	// Zero-copy reply frames written (reads whose payload left in a single
+	// BML-leased frame write).
+	zeroCopyReplies *telemetry.Counter
 
 	// Cumulative counters (the ServerStats source of truth).
 	bytesWritten *telemetry.Counter
@@ -117,6 +123,8 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		"Tasks dequeued per worker wakeup (the event-loop multiplexing depth).")
 	m.batches = reg.Counter("iofwd_worker_batches_total",
 		"Worker wakeups that dequeued at least one task.")
+	m.zeroCopyReplies = reg.Counter("iofwd_zero_copy_replies_total",
+		"Read replies whose payload was read straight into a BML-leased frame and written to the wire in one call (zero-copy reply path).")
 
 	m.bytesWritten = reg.Counter("iofwd_bytes_written_total",
 		"Payload bytes received for write operations.")
@@ -173,12 +181,19 @@ func (m *serverMetrics) wire(s *Server) {
 		"Time spent blocked waiting for staging-pool capacity.", &s.bml.stallWait)
 	reg.MustRegister("iofwd_bml_admission_timeouts_total",
 		"Staging buffer requests that gave up waiting (BMLTimeout) and degraded.", &s.bml.timeouts)
-	if s.queue != nil {
-		q := s.queue
+	if s.sched != nil {
+		q := s.sched
 		reg.GaugeFunc("iofwd_queue_depth",
-			"Tasks currently waiting in the shared work queue.",
-			func() int64 { return int64(q.depth()) })
+			"Tasks currently waiting across all scheduler shards (atomic aggregate; the overload-shed reference).",
+			q.aggDepth.Load)
 		reg.MustRegister("iofwd_queue_peak_depth",
-			"Work-queue occupancy high-water mark.", &q.peak)
+			"Aggregate scheduler occupancy high-water mark.", &q.peak)
+		q.steals = reg.Counter("iofwd_steals_total",
+			"Half-batches an idle worker stole from the busiest sibling shard.")
+		for i, sh := range q.shards {
+			reg.GaugeFunc("iofwd_shard_depth",
+				"Tasks currently queued on one scheduler shard, by shard index.",
+				sh.depth.Load, telemetry.L("shard", strconv.Itoa(i)))
+		}
 	}
 }

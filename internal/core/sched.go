@@ -2,14 +2,16 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/telemetry"
 )
 
 // task is one unit of queued I/O work (paper figure 7: the ZOID thread
-// enqueues the I/O task into the shared FIFO work queue).
+// enqueues the I/O task into the work queue).
 type task struct {
 	d     *descriptor
 	op    Op // OpWrite or OpRead
@@ -27,82 +29,343 @@ type task struct {
 	enq time.Time
 }
 
-// taskQueue is the shared FIFO work queue: unbounded, multi-producer,
-// drained in batches by the worker pool.
-type taskQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []*task
-	closed bool
-	peak   telemetry.MaxGauge
+// shard is one per-worker task queue. The paper's single shared FIFO made
+// every producer and every worker serialize on one lock — the very ION
+// contention the work queue was introduced to remove, relocated into the
+// scheduler. Sharding gives each worker a private FIFO: producers hash by
+// descriptor so one descriptor's operations stay in one FIFO (preserving
+// per-descriptor opNum order), and contention drops to one producer set and
+// (mostly) one consumer per lock.
+type shard struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// items is the FIFO of queued tasks. Tasks of one descriptor only ever
+	// appear in that descriptor's home shard, in submission (opNum) order.
+	items []*task
+	// executing counts, per descriptor sequence id, tasks dequeued from this
+	// shard and not yet finished. A dequeue (owner batch or steal) may only
+	// take a descriptor's tasks while this count is zero — or when the same
+	// batch already holds the descriptor's earlier tasks — so a descriptor's
+	// operations never run concurrently or out of order, even across steals.
+	executing map[uint64]int
+	// poked is set by wakeIdle to tell a parked worker that a sibling shard
+	// has surplus work worth stealing.
+	poked bool
+	// depth mirrors len(items) for lock-free victim selection and the
+	// per-shard depth gauge.
+	depth atomic.Int64
 }
 
-func newTaskQueue() *taskQueue {
-	q := &taskQueue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
+// scheduler is the sharded work-stealing task queue. put hashes tasks to
+// their descriptor's home shard; each worker drains its own shard and steals
+// half-batches from the busiest sibling before parking, so a skewed hash
+// cannot strand idle workers while one shard backs up.
+type scheduler struct {
+	shards []*shard
+	// aggDepth is the aggregate queued-task count, maintained atomically so
+	// the overload-shed check and /statz snapshots never touch a shard lock.
+	aggDepth atomic.Int64
+	closed   atomic.Bool
+	peak     telemetry.MaxGauge
+	steals   *telemetry.Counter
+
+	// idle is a stack of parked worker ids; idleCount mirrors its size so
+	// the put hot path can skip the idle lock when nobody is parked.
+	idleMu    sync.Mutex
+	idle      []int
+	idleCount atomic.Int32
 }
 
-// put enqueues one task. It returns ECLOSED (instead of panicking) when the
-// queue has been closed, so a connection racing server shutdown gets a clean
-// wire error rather than crashing the process.
-func (q *taskQueue) put(t *task) error {
-	q.mu.Lock()
-	if q.closed {
-		q.mu.Unlock()
+// defaultShards picks the shard count: one queue per worker, capped at
+// GOMAXPROCS — more shards than runnable threads just spreads the same
+// contention thinner without adding parallelism.
+func defaultShards(workers int) int {
+	n := workers
+	if p := runtime.GOMAXPROCS(0); n > p {
+		n = p
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func newScheduler(nshards int) *scheduler {
+	if nshards < 1 {
+		nshards = 1
+	}
+	s := &scheduler{shards: make([]*shard, nshards)}
+	for i := range s.shards {
+		sh := &shard{executing: make(map[uint64]int)}
+		sh.cond = sync.NewCond(&sh.mu)
+		s.shards[i] = sh
+	}
+	return s
+}
+
+// homeShard returns the shard owning d's tasks. The descriptor sequence id
+// is a global round-robin ticket, so descriptors spread evenly regardless of
+// per-connection fd reuse.
+func (s *scheduler) homeShard(d *descriptor) *shard {
+	return s.shards[d.sid%uint64(len(s.shards))]
+}
+
+// ownShard returns the shard worker id drains first. With fewer shards than
+// workers, owners share shards; the shard lock serializes them.
+func (s *scheduler) ownShard(id int) *shard {
+	return s.shards[id%len(s.shards)]
+}
+
+// put enqueues one task on its descriptor's home shard. It returns ECLOSED
+// (instead of panicking) when the scheduler has been closed, so a connection
+// racing server shutdown gets a clean wire error rather than crashing the
+// process. The signal goes to the owning shard's cond only — waking every
+// worker for one task is the thundering herd the shards exist to avoid.
+func (s *scheduler) put(t *task) error {
+	sh := s.homeShard(t.d)
+	sh.mu.Lock()
+	if s.closed.Load() {
+		sh.mu.Unlock()
 		return ECLOSED
 	}
-	q.items = append(q.items, t)
-	q.peak.Observe(int64(len(q.items)))
-	q.mu.Unlock()
-	q.cond.Signal()
+	sh.items = append(sh.items, t)
+	qlen := len(sh.items)
+	sh.depth.Store(int64(qlen))
+	s.peak.Observe(s.aggDepth.Add(1))
+	sh.mu.Unlock()
+	sh.cond.Signal()
+	// Backlog forming behind a busy owner: nominate a parked sibling to come
+	// steal. The atomic gate keeps the fully-loaded hot path lock-free here.
+	if qlen > 1 && s.idleCount.Load() > 0 {
+		s.wakeIdle()
+	}
 	return nil
 }
 
-// getBatch removes up to max tasks, blocking while the queue is empty. It
-// returns nil once the queue is closed and drained.
-func (q *taskQueue) getBatch(max int, out []*task) []*task {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 {
-		if q.closed {
-			return nil
+// depth returns the aggregate queued-task count without taking any lock —
+// the shed check (QueueHighWater) and metric snapshots read it on every
+// data operation.
+func (s *scheduler) depth() int {
+	return int(s.aggDepth.Load())
+}
+
+// close marks the scheduler closed and wakes every worker so they drain the
+// remaining tasks and exit.
+func (s *scheduler) close() {
+	s.closed.Store(true)
+	// The empty lock cycle serializes against workers evaluating their park
+	// predicate: a worker either observes closed before Waiting, or is
+	// already parked when the Broadcast lands — never in between.
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.mu.Unlock()
+		sh.cond.Broadcast()
+	}
+}
+
+// take removes up to limit runnable tasks from sh in FIFO order and marks
+// their descriptors executing. A task is runnable when no earlier task of
+// its descriptor is still executing elsewhere, or when this same batch
+// already holds the descriptor's earlier tasks — either way the batch holds
+// a prefix of the descriptor's queued operations and executes it serially,
+// so opNum order survives both batching and stealing.
+func (sh *shard) take(s *scheduler, limit int, out []*task) []*task {
+	out = out[:0]
+	if limit <= 0 {
+		return out
+	}
+	sh.mu.Lock()
+	if len(sh.items) == 0 {
+		sh.mu.Unlock()
+		return out
+	}
+	kept := 0
+	for i := 0; i < len(sh.items); i++ {
+		t := sh.items[i]
+		runnable := sh.executing[t.d.sid] == 0 || batchHolds(out, t.d.sid)
+		if len(out) < limit && runnable {
+			out = append(out, t)
+		} else {
+			sh.items[kept] = t
+			kept++
 		}
-		q.cond.Wait()
 	}
-	n := min(max, len(q.items))
-	out = append(out[:0], q.items[:n]...)
-	for i := 0; i < n; i++ {
-		q.items[i] = nil
+	for i := kept; i < len(sh.items); i++ {
+		sh.items[i] = nil
 	}
-	q.items = q.items[n:]
+	sh.items = sh.items[:kept]
+	for _, t := range out {
+		sh.executing[t.d.sid]++
+	}
+	sh.depth.Store(int64(kept))
+	sh.mu.Unlock()
+	if n := len(out); n > 0 {
+		s.aggDepth.Add(-int64(n))
+	}
 	return out
 }
 
-func (q *taskQueue) close() {
-	q.mu.Lock()
-	q.closed = true
-	q.mu.Unlock()
-	q.cond.Broadcast()
+// batchHolds reports whether batch already contains a task of descriptor
+// sequence id sid. Batches are small (≤ cfg.Batch), so a linear scan beats a
+// per-dequeue map allocation.
+func batchHolds(batch []*task, sid uint64) bool {
+	for _, t := range batch {
+		if t.d.sid == sid {
+			return true
+		}
+	}
+	return false
 }
 
-func (q *taskQueue) depth() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return len(q.items)
+// steal takes up to half of victim's queue (capped at limit) for an idle
+// worker, honoring the same descriptor-prefix rule as take. drain mode
+// (shutdown) lifts the half cap so the last workers can empty every shard.
+func (s *scheduler) steal(victim *shard, limit int, drain bool, out []*task) []*task {
+	n := int(victim.depth.Load())
+	if n == 0 {
+		return out[:0]
+	}
+	want := (n + 1) / 2
+	if drain {
+		want = n
+	}
+	if want > limit {
+		want = limit
+	}
+	batch := victim.take(s, want, out)
+	if len(batch) > 0 && s.steals != nil {
+		s.steals.Inc()
+	}
+	return batch
 }
 
-// worker is one pool thread: it dequeues multiple I/O requests per wakeup
-// and executes them in its event loop (paper Section IV).
-func (s *Server) worker() {
+// next returns the worker's next batch and the shard it was taken from, or
+// (nil, nil) when the scheduler is closed and fully drained. Order of
+// preference: the worker's own shard, then a steal from the busiest sibling.
+// Workers park on their own shard's cond when nothing is runnable anywhere.
+func (s *scheduler) next(id, max int, out []*task) (*shard, []*task) {
+	own := s.ownShard(id)
+	for {
+		if batch := own.take(s, max, out); len(batch) > 0 {
+			return own, batch
+		}
+		closed := s.closed.Load()
+		if victim := s.busiest(own); victim != nil {
+			if batch := s.steal(victim, max, closed, out); len(batch) > 0 {
+				return victim, batch
+			}
+		}
+		if closed {
+			if s.aggDepth.Load() == 0 {
+				// Tasks still marked executing belong to live workers, which
+				// re-enter next() after finishing and drain what they block.
+				return nil, nil
+			}
+			// Queued tasks remain but none are runnable by us right now
+			// (their descriptors are mid-execution elsewhere, or a racing put
+			// landed on a shard we already scanned). Yield and rescan; this
+			// only spins during shutdown drain.
+			runtime.Gosched()
+			continue
+		}
+		s.park(id, own)
+	}
+}
+
+// busiest returns the deepest shard other than own, or nil when every other
+// shard is empty. The depth reads are racy by design — a stale victim choice
+// costs one wasted lock, never correctness.
+func (s *scheduler) busiest(own *shard) *shard {
+	var victim *shard
+	var max int64
+	for _, sh := range s.shards {
+		if sh == own {
+			continue
+		}
+		if d := sh.depth.Load(); d > max {
+			max, victim = d, sh
+		}
+	}
+	return victim
+}
+
+// park blocks the worker on its own shard's cond until new work arrives
+// there, a producer pokes it to steal, or the scheduler closes. The worker
+// registers as idle first so put's wakeIdle can find it; the poked flag is
+// set under the shard lock, so the nomination is never lost between the
+// worker's last scan and its Wait.
+func (s *scheduler) park(id int, own *shard) {
+	s.idleMu.Lock()
+	s.idle = append(s.idle, id)
+	s.idleMu.Unlock()
+	s.idleCount.Add(1)
+	own.mu.Lock()
+	for len(own.items) == 0 && !own.poked && !s.closed.Load() {
+		own.cond.Wait()
+	}
+	own.poked = false
+	own.mu.Unlock()
+	s.idleCount.Add(-1)
+	s.idleMu.Lock()
+	for i, w := range s.idle {
+		if w == id {
+			s.idle = append(s.idle[:i], s.idle[i+1:]...)
+			break
+		}
+	}
+	s.idleMu.Unlock()
+}
+
+// wakeIdle pops one parked worker and pokes it toward the backlog. Popping
+// under idleMu and setting poked under the target's shard lock makes the
+// handoff race-free: either the worker has not started waiting yet and sees
+// the flag, or it is waiting and the signal lands.
+func (s *scheduler) wakeIdle() {
+	s.idleMu.Lock()
+	if len(s.idle) == 0 {
+		s.idleMu.Unlock()
+		return
+	}
+	id := s.idle[len(s.idle)-1]
+	s.idle = s.idle[:len(s.idle)-1]
+	s.idleMu.Unlock()
+	sh := s.ownShard(id)
+	sh.mu.Lock()
+	sh.poked = true
+	sh.mu.Unlock()
+	sh.cond.Signal()
+}
+
+// finish unmarks batch's descriptors on the shard the batch was taken from
+// and wakes the shard's owner if tasks were left waiting (they may have been
+// blocked on exactly these descriptors).
+func (s *scheduler) finish(sh *shard, batch []*task) {
+	sh.mu.Lock()
+	for _, t := range batch {
+		if sh.executing[t.d.sid]--; sh.executing[t.d.sid] <= 0 {
+			delete(sh.executing, t.d.sid)
+		}
+	}
+	notify := len(sh.items) > 0
+	sh.mu.Unlock()
+	if notify {
+		sh.cond.Signal()
+	}
+}
+
+// worker is one pool thread: it drains its own shard (stealing from the
+// busiest sibling when idle), dequeues multiple I/O requests per wakeup and
+// executes them in its event loop (paper Section IV).
+func (s *Server) worker(id int) {
 	defer s.workerWG.Done()
 	m := s.metrics
 	var batch []*task
 	for {
-		batch = s.queue.getBatch(s.cfg.Batch, batch)
-		if batch == nil {
+		src, b := s.sched.next(id, s.cfg.Batch, batch)
+		if b == nil {
 			return
 		}
+		batch = b
 		m.batches.Inc()
 		m.batchSize.Observe(int64(len(batch)))
 		// Timestamps chain through the batch: each task's service start is
@@ -116,6 +379,7 @@ func (s *Server) worker() {
 			}
 			now = s.execute(t, now)
 		}
+		s.sched.finish(src, batch)
 	}
 }
 

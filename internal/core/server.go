@@ -43,6 +43,11 @@ type Config struct {
 	// Workers is the worker-pool size for ModeWorkQueue and ModeAsync
 	// (paper default: 4).
 	Workers int
+	// Shards is the number of scheduler task queues. Producers hash tasks to
+	// shards by descriptor, each worker drains its own shard and steals from
+	// the busiest sibling when idle. 0 picks one shard per worker, capped at
+	// GOMAXPROCS.
+	Shards int
 	// Batch is the maximum number of tasks a worker dequeues per wakeup.
 	Batch int
 	// BMLBytes caps staging memory; writes block when it is exhausted.
@@ -59,10 +64,11 @@ type Config struct {
 	// Each Server needs its own registry.
 	Metrics *telemetry.Registry
 	// QueueHighWater, when > 0, sheds incoming data operations with EAGAIN
-	// while the shared work queue is at least this deep, instead of letting
-	// a stalled backend absorb unbounded queued work and block every
-	// forwarder. Shedding happens before any side effect (no cursor
-	// movement, no staging), so EAGAIN is always safe to retry.
+	// while the scheduler's aggregate queued-task depth (summed over all
+	// shards) is at least this deep, instead of letting a stalled backend
+	// absorb unbounded queued work and block every forwarder. Shedding
+	// happens before any side effect (no cursor movement, no staging), so
+	// EAGAIN is always safe to retry.
 	QueueHighWater int
 	// BMLTimeout, when > 0, bounds the wait for staging-pool admission;
 	// past it a write degrades to the synchronous path with an unpooled
@@ -92,7 +98,7 @@ type ServerStats struct {
 type Server struct {
 	cfg     Config
 	bml     *BML
-	queue   *taskQueue
+	sched   *scheduler
 	metrics *serverMetrics
 
 	mu        sync.Mutex
@@ -122,13 +128,17 @@ func NewServer(cfg Config) *Server {
 	}
 	s := &Server{cfg: cfg, bml: NewBML(cfg.BMLBytes), metrics: newServerMetrics(reg)}
 	if cfg.Mode != ModeDirect {
-		s.queue = newTaskQueue()
+		nshards := cfg.Shards
+		if nshards <= 0 {
+			nshards = defaultShards(cfg.Workers)
+		}
+		s.sched = newScheduler(nshards)
 	}
 	s.metrics.wire(s)
-	if s.queue != nil {
+	if s.sched != nil {
 		for i := 0; i < cfg.Workers; i++ {
 			s.workerWG.Add(1)
-			go s.worker()
+			go s.worker(i)
 		}
 	}
 	return s
@@ -166,9 +176,11 @@ func (s *Server) Stats() ServerStats {
 	}
 }
 
-// shouldShed reports whether the work queue is past its high-water mark.
+// shouldShed reports whether the scheduler is past its high-water mark. The
+// depth read is a single atomic load, so the per-operation shed check never
+// contends with producers or workers on a shard lock.
 func (s *Server) shouldShed() bool {
-	return s.queue != nil && s.cfg.QueueHighWater > 0 && s.queue.depth() >= s.cfg.QueueHighWater
+	return s.sched != nil && s.cfg.QueueHighWater > 0 && s.sched.depth() >= s.cfg.QueueHighWater
 }
 
 // Serve accepts connections until the listener fails or the server closes.
@@ -191,6 +203,7 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
+		//lint:allow goroleak per-connection handlers exit on their conn's EOF/error; Close closes the listeners and in-flight conns are interrupted by their next I/O
 		go func() { _ = s.ServeConn(c) }()
 	}
 }
@@ -209,8 +222,8 @@ func (s *Server) Close() error {
 	for _, l := range ls {
 		_ = l.Close()
 	}
-	if s.queue != nil {
-		s.queue.close()
+	if s.sched != nil {
+		s.sched.close()
 		s.workerWG.Wait()
 	}
 	return nil
@@ -289,6 +302,32 @@ func (c *serverConn) reply(reqID uint64, flags uint16, errno Errno, value int64,
 	t0 := time.Now()
 	err := writeFrame(c.nc, &h, payload)
 	m.stageReply.Observe(time.Since(t0).Nanoseconds())
+	return err
+}
+
+// replyFrame sends a response whose payload already sits in a BML-leased
+// reply frame (from Lease): the header is encoded into the frame's reserved
+// header room and header+payload leave in a single connection write. The
+// frame is returned to the pool here, exactly once, after the wire write.
+func (c *serverConn) replyFrame(reqID uint64, flags uint16, errno Errno, frame []byte, n int) error {
+	h := header{
+		op:      0, // responses reuse the header with op 0
+		flags:   flags,
+		reqID:   reqID,
+		offset:  uint64(int64(n)),
+		length:  uint32(n),
+		pathLen: uint16(errno),
+	}
+	h.encode((*[headerSize]byte)(frame))
+	m := c.srv.metrics
+	if errno != EOK {
+		m.replyErrors.Inc()
+	}
+	t0 := time.Now()
+	_, err := c.nc.Write(frame[:headerSize+n])
+	m.stageReply.Observe(time.Since(t0).Nanoseconds())
+	m.zeroCopyReplies.Inc()
+	c.srv.bml.Put(frame)
 	return err
 }
 
@@ -469,6 +508,7 @@ func (c *serverConn) handleWrite(h *header, start time.Time) error {
 	if s.cfg.Mode == ModeDirect || !pooled {
 		_, err := c.safeWriteAt(d, buf, off)
 		m.stageBackend.Observe(time.Since(recvd).Nanoseconds())
+		putBuf()
 		var flags uint16
 		if !pooled {
 			flags = FlagDegraded
@@ -479,7 +519,7 @@ func (c *serverConn) handleWrite(h *header, start time.Time) error {
 	switch s.cfg.Mode {
 	case ModeWorkQueue:
 		done := make(chan error, 1)
-		if err := s.queue.put(&task{d: d, op: OpWrite, buf: buf, off: off, done: done, enq: recvd}); err != nil {
+		if err := s.sched.put(&task{d: d, op: OpWrite, buf: buf, off: off, done: done, enq: recvd}); err != nil {
 			s.bml.Put(buf)
 			m.queueRejects.Inc()
 			return c.reply(h.reqID, 0, toErrno(err), 0, nil)
@@ -490,7 +530,7 @@ func (c *serverConn) handleWrite(h *header, start time.Time) error {
 	case ModeAsync:
 		flags, errno := deferredFlags(d)
 		d.start()
-		if err := s.queue.put(&task{d: d, op: OpWrite, buf: buf, off: off, opNum: opNum, enq: recvd}); err != nil {
+		if err := s.sched.put(&task{d: d, op: OpWrite, buf: buf, off: off, opNum: opNum, enq: recvd}); err != nil {
 			d.complete(opNum, nil) // undo start: the op never entered the queue
 			s.bml.Put(buf)
 			m.queueRejects.Inc()
@@ -518,6 +558,12 @@ func (c *serverConn) safeWriteAt(d *descriptor, buf []byte, off int64) (n int, e
 // handleRead executes or queues a read; reads block for the data in every
 // mode, and under staging they first drain preceding writes on the
 // descriptor so the client observes its own writes.
+//
+// The reply is zero-copy: the backend reads directly into the payload region
+// of a BML-leased reply frame, the response header is encoded into the
+// frame's header room, and the whole frame goes out in one connection write
+// before the frame returns to the pool — no scratch buffer, no payload copy,
+// no separate header write.
 func (c *serverConn) handleRead(h *header) error {
 	s := c.srv
 	m := s.metrics
@@ -527,6 +573,12 @@ func (c *serverConn) handleRead(h *header) error {
 	d, ok := c.db.lookup(h.fd)
 	if !ok {
 		return c.reply(h.reqID, 0, EBADF, 0, nil)
+	}
+	// A read whose padded reply frame could never be admitted by the staging
+	// pool is refused before the cursor moves, instead of panicking in the
+	// pool allocator.
+	if !s.bml.LeaseFits(int(h.length)) {
+		return c.reply(h.reqID, 0, EINVAL, 0, nil)
 	}
 	// Shed before the cursor moves so a refused read has no side effect.
 	if s.shouldShed() {
@@ -546,8 +598,8 @@ func (c *serverConn) handleRead(h *header) error {
 		d.drain()
 		flags, derrno = deferredFlags(d)
 	}
-	buf := s.bml.Get(int(h.length))
-	defer s.bml.Put(buf)
+	frame := s.bml.Lease(int(h.length))
+	buf := frame[headerSize : headerSize+int(h.length)]
 	ready := time.Now()
 	var n int
 	var err error
@@ -557,7 +609,8 @@ func (c *serverConn) handleRead(h *header) error {
 	} else {
 		done := make(chan error, 1)
 		t := &task{d: d, op: OpRead, buf: buf, off: off, done: done, enq: ready}
-		if qerr := s.queue.put(t); qerr != nil {
+		if qerr := s.sched.put(t); qerr != nil {
+			s.bml.Put(frame)
 			m.queueRejects.Inc()
 			return c.reply(h.reqID, flags, toErrno(qerr), 0, nil)
 		}
@@ -570,7 +623,7 @@ func (c *serverConn) handleRead(h *header) error {
 	if derrno != EOK && errno == EOK {
 		errno = derrno
 	}
-	return c.reply(h.reqID, flags, errno, int64(n), buf[:n])
+	return c.replyFrame(h.reqID, flags, errno, frame, n)
 }
 
 // safeReadAt executes a direct-path backend read, converting a backend

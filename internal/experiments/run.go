@@ -32,15 +32,22 @@ var AllMechanisms = []Mechanism{CIOD, ZOID, WQ, Async}
 
 // NewForwarder constructs the named mechanism for a pset.
 func NewForwarder(e *sim.Engine, ps *bgp.Pset, p bgp.Params, mech Mechanism, workers, batch int) iofwd.Forwarder {
+	return NewForwarderDisc(e, ps, p, mech, workers, batch, iofwd.SharedFIFO)
+}
+
+// NewForwarderDisc is NewForwarder with an explicit queueing discipline for
+// the worker-pool mechanisms (CIOD and ZOID have no pool; the discipline is
+// ignored for them).
+func NewForwarderDisc(e *sim.Engine, ps *bgp.Pset, p bgp.Params, mech Mechanism, workers, batch int, disc iofwd.Discipline) iofwd.Forwarder {
 	switch mech {
 	case CIOD:
 		return ciod.New(e, ps, p)
 	case ZOID:
 		return zoid.New(e, ps, p)
 	case WQ:
-		return wq.New(e, ps, p, wq.Config{Workers: workers, Batch: batch})
+		return wq.New(e, ps, p, wq.Config{Workers: workers, Batch: batch, Discipline: disc})
 	case Async:
-		return staging.New(e, ps, p, staging.Config{Workers: workers, Batch: batch})
+		return staging.New(e, ps, p, staging.Config{Workers: workers, Batch: batch, Discipline: disc})
 	default:
 		panic(fmt.Sprintf("experiments: unknown mechanism %q", mech))
 	}
@@ -61,7 +68,10 @@ type E2EConfig struct {
 	Iters    int
 	Workers  int
 	Batch    int
-	Params   *bgp.Params
+	// Discipline selects the worker-pool queueing discipline for the WQ and
+	// Async mechanisms (SharedFIFO, LeastLoaded, or Sharded).
+	Discipline iofwd.Discipline
+	Params     *bgp.Params
 	// Reads switches the workload from writes to reads (fig 4 measures
 	// both directions; the shape is the same).
 	Reads bool
@@ -137,7 +147,7 @@ func RunE2E(cfg E2EConfig) E2EResult {
 
 	var fwds []iofwd.Forwarder
 	for pi, ps := range m.Psets {
-		fwd := NewForwarder(e, ps, p, cfg.Mech, cfg.Workers, cfg.Batch)
+		fwd := NewForwarderDisc(e, ps, p, cfg.Mech, cfg.Workers, cfg.Batch, cfg.Discipline)
 		fwds = append(fwds, fwd)
 		for cn := 0; cn < ps.CNs; cn++ {
 			global := pi*ps.CNs + cn

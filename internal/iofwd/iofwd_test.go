@@ -115,7 +115,7 @@ func TestDescriptorDBDrain(t *testing.T) {
 }
 
 func TestWorkerPoolExecutesAndBalances(t *testing.T) {
-	for _, disc := range []Discipline{SharedFIFO, LeastLoaded} {
+	for _, disc := range []Discipline{SharedFIFO, LeastLoaded, Sharded} {
 		e := sim.New(1)
 		m, p := testMachine(e)
 		ion := m.Psets[0].ION
@@ -145,6 +145,107 @@ func TestWorkerPoolExecutesAndBalances(t *testing.T) {
 			t.Fatalf("executed %d", pool.Executed())
 		}
 		pool.Shutdown()
+	}
+}
+
+// TestShardedPoolStealsAndPreservesOrder homes every task to one shard (all
+// descriptors share an FD residue), leaving the other workers idle: the
+// backlog must drain through steals, and each descriptor's operations must
+// still complete in issue order.
+func TestShardedPoolStealsAndPreservesOrder(t *testing.T) {
+	e := sim.New(1)
+	m, p := testMachine(e)
+	ion := m.Psets[0].ION
+	const workers = 4
+	pool := NewWorkerPool(e, ion.CPU, PoolConfig{Workers: workers, Batch: 2, DispatchCPU: 1e-6, Discipline: Sharded})
+	db := NewDescriptorDB(e)
+	sink := &NullSink{ION: ion, P: p}
+
+	// Open descriptors until we hold several with the same FD%workers, so
+	// every submission homes to a single shard.
+	var hot []*Descriptor
+	var residue int = -1
+	for len(hot) < 3 {
+		d := db.Open(sink)
+		if residue == -1 {
+			residue = d.FD % workers
+		}
+		if d.FD%workers == residue {
+			hot = append(hot, d)
+		}
+	}
+	order := make(map[int][]uint64)
+	total := 0
+	e.Spawn("submitter", func(proc *sim.Proc) {
+		for round := 0; round < 8; round++ {
+			for _, d := range hot {
+				d := d
+				op := db.Start(d)
+				total++
+				pool.Submit(&Task{Kind: TaskWrite, Desc: d, Op: op, Bytes: 4096, Done: func(err error) {
+					if err != nil {
+						t.Errorf("task error: %v", err)
+					}
+					order[d.FD] = append(order[d.FD], op)
+					db.Complete(d, op, err)
+				}})
+			}
+		}
+		db.WaitAll(proc)
+	})
+	e.Run(0)
+	done := 0
+	for fd, ops := range order {
+		done += len(ops)
+		for i := 1; i < len(ops); i++ {
+			if ops[i] <= ops[i-1] {
+				t.Fatalf("fd %d completed out of order: %v", fd, ops)
+			}
+		}
+	}
+	if done != total {
+		t.Fatalf("completed %d of %d tasks", done, total)
+	}
+	if pool.Steals() == 0 {
+		t.Fatal("single hot shard drained with zero steals; idle workers never helped")
+	}
+	pool.Shutdown()
+}
+
+// TestShardedPoolDeterministic runs the same sharded workload twice and
+// requires identical virtual end times and steal counts — the sim's
+// reproducibility contract extends to the stealing scheduler.
+func TestShardedPoolDeterministic(t *testing.T) {
+	run := func() (sim.Time, uint64) {
+		e := sim.New(1)
+		m, p := testMachine(e)
+		ion := m.Psets[0].ION
+		pool := NewWorkerPool(e, ion.CPU, PoolConfig{Workers: 4, Batch: 2, DispatchCPU: 1e-6, Discipline: Sharded})
+		db := NewDescriptorDB(e)
+		sink := &NullSink{ION: ion, P: p}
+		e.Spawn("submitter", func(proc *sim.Proc) {
+			var ds []*Descriptor
+			for i := 0; i < 6; i++ {
+				ds = append(ds, db.Open(sink))
+			}
+			for round := 0; round < 10; round++ {
+				for _, d := range ds {
+					d := d
+					op := db.Start(d)
+					pool.Submit(&Task{Kind: TaskWrite, Desc: d, Op: op, Bytes: 8192, Done: func(err error) {
+						db.Complete(d, op, err)
+					}})
+				}
+			}
+			db.WaitAll(proc)
+		})
+		end := e.Run(0)
+		return end, pool.Steals()
+	}
+	end1, steals1 := run()
+	end2, steals2 := run()
+	if end1 != end2 || steals1 != steals2 {
+		t.Fatalf("sharded runs diverged: end %v vs %v, steals %d vs %d", end1, end2, steals1, steals2)
 	}
 }
 

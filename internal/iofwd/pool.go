@@ -41,6 +41,11 @@ const (
 	// shortest — the "simple load-balancing heuristic" the paper mentions
 	// could be extended; kept for the ablation benchmark.
 	LeastLoaded
+	// Sharded mirrors internal/core's production scheduler: each worker owns
+	// a queue, tasks home to a shard by descriptor FD (so one descriptor's
+	// operations never run concurrently or out of order), and an idle worker
+	// steals half a batch from the busiest sibling before parking.
+	Sharded
 )
 
 // PoolConfig configures a WorkerPool.
@@ -71,6 +76,12 @@ type WorkerPool struct {
 	queues []*sim.Queue[*Task]
 	rr     int
 
+	// Sharded-discipline state: per-FD in-execution counts (the ordering
+	// guard), parked workers awaiting a poke, and the steal count.
+	executing map[int]int
+	idle      []*sim.Proc
+	steals    uint64
+
 	executed uint64
 	batches  uint64
 	stopped  bool
@@ -85,20 +96,25 @@ func NewWorkerPool(e *sim.Engine, cpu *simcpu.CPU, cfg PoolConfig) *WorkerPool {
 	if cfg.Batch <= 0 {
 		cfg.Batch = 8
 	}
-	wp := &WorkerPool{eng: e, cpu: cpu, cfg: cfg}
+	wp := &WorkerPool{eng: e, cpu: cpu, cfg: cfg, executing: make(map[int]int)}
 	nq := 1
-	if cfg.Discipline == LeastLoaded {
+	if cfg.Discipline != SharedFIFO {
 		nq = cfg.Workers
 	}
 	for i := 0; i < nq; i++ {
 		wp.queues = append(wp.queues, sim.NewQueue[*Task](e, 0))
 	}
 	for w := 0; w < cfg.Workers; w++ {
+		w := w
 		q := wp.queues[0]
-		if cfg.Discipline == LeastLoaded {
+		if cfg.Discipline != SharedFIFO {
 			q = wp.queues[w]
 		}
-		e.SpawnDaemon(fmt.Sprintf("worker%d", w), func(p *sim.Proc) { wp.run(p, q) })
+		if cfg.Discipline == Sharded {
+			e.SpawnDaemon(fmt.Sprintf("worker%d", w), func(p *sim.Proc) { wp.runSharded(p, w) })
+		} else {
+			e.SpawnDaemon(fmt.Sprintf("worker%d", w), func(p *sim.Proc) { wp.run(p, q) })
+		}
 	}
 	return wp
 }
@@ -111,7 +127,8 @@ func (wp *WorkerPool) Submit(t *Task) {
 		panic("iofwd: submit on stopped pool")
 	}
 	q := wp.queues[0]
-	if wp.cfg.Discipline == LeastLoaded {
+	switch wp.cfg.Discipline {
+	case LeastLoaded:
 		best := 0
 		for i, cand := range wp.queues {
 			if cand.Len() < wp.queues[best].Len() {
@@ -119,8 +136,26 @@ func (wp *WorkerPool) Submit(t *Task) {
 			}
 		}
 		q = wp.queues[best]
+	case Sharded:
+		// Home the task by descriptor FD: every operation of one descriptor
+		// lands on one shard, which (with the executing guard) keeps its
+		// operations ordered even under stealing.
+		q = wp.queues[t.Desc.FD%len(wp.queues)]
 	}
 	q.TryPut(t)
+	if wp.cfg.Discipline == Sharded {
+		wp.wakeOneIdle()
+	}
+}
+
+// wakeOneIdle pokes the longest-parked sharded worker, if any.
+func (wp *WorkerPool) wakeOneIdle() {
+	if len(wp.idle) == 0 {
+		return
+	}
+	p := wp.idle[0]
+	wp.idle = wp.idle[1:]
+	wp.eng.Ready(p)
 }
 
 // QueueDepth returns the total number of queued, unexecuted tasks.
@@ -138,6 +173,10 @@ func (wp *WorkerPool) Executed() uint64 { return wp.executed }
 // Batches returns the number of worker wakeups, for measuring multiplexing.
 func (wp *WorkerPool) Batches() uint64 { return wp.batches }
 
+// Steals returns the number of half-batches idle workers stole from sibling
+// shards (Sharded discipline only).
+func (wp *WorkerPool) Steals() uint64 { return wp.steals }
+
 // Shutdown stops the workers by poisoning the queues. Pending tasks ahead
 // of the poison still execute.
 func (wp *WorkerPool) Shutdown() {
@@ -145,14 +184,23 @@ func (wp *WorkerPool) Shutdown() {
 		return
 	}
 	wp.stopped = true
-	if wp.cfg.Discipline == LeastLoaded {
+	switch wp.cfg.Discipline {
+	case LeastLoaded:
 		for _, q := range wp.queues {
 			q.TryPut(nil)
 		}
-		return
-	}
-	for w := 0; w < wp.cfg.Workers; w++ {
-		wp.queues[0].TryPut(nil)
+	case Sharded:
+		for _, q := range wp.queues {
+			q.TryPut(nil)
+		}
+		for _, p := range wp.idle {
+			wp.eng.Ready(p)
+		}
+		wp.idle = nil
+	default:
+		for w := 0; w < wp.cfg.Workers; w++ {
+			wp.queues[0].TryPut(nil)
+		}
 	}
 }
 
@@ -172,6 +220,98 @@ func (wp *WorkerPool) run(p *sim.Proc, q *sim.Queue[*Task]) {
 			wp.exec(p, t)
 		}
 	}
+}
+
+// runSharded is the Sharded-discipline worker loop: drain the worker's own
+// shard, steal half a batch from the busiest sibling when it is empty, and
+// park on the pool's idle list when there is nothing runnable anywhere. The
+// executing guard in takeRunnable keeps one descriptor's operations from
+// ever running concurrently, so stealing cannot reorder them.
+func (wp *WorkerPool) runSharded(p *sim.Proc, id int) {
+	own := wp.queues[id]
+	for {
+		batch := wp.takeRunnable(own, wp.cfg.Batch)
+		if len(batch) == 0 {
+			if v, ok := own.Peek(); ok && v == nil && own.Len() == 1 {
+				own.TryGet() // lone poison: shard drained, shut down
+				return
+			}
+			batch = wp.stealSharded(id)
+		}
+		if len(batch) == 0 {
+			wp.idle = append(wp.idle, p)
+			p.Suspend()
+			continue
+		}
+		wp.batches++
+		for _, t := range batch {
+			wp.exec(p, t)
+			wp.executing[t.Desc.FD]--
+			if wp.executing[t.Desc.FD] == 0 {
+				delete(wp.executing, t.Desc.FD)
+			}
+		}
+		if wp.stopped {
+			// A finished batch may have unblocked nothing but lone poisons;
+			// parked siblings must re-check so they can exit.
+			for _, ip := range wp.idle {
+				wp.eng.Ready(ip)
+			}
+			wp.idle = nil
+		}
+	}
+}
+
+// takeRunnable removes up to max runnable tasks from q: a task is runnable
+// when no other worker is executing an operation of its descriptor, or when
+// this batch already holds one (the batch executes serially, so order is
+// preserved). Taken tasks are marked executing. Poison (nil) stays queued.
+func (wp *WorkerPool) takeRunnable(q *sim.Queue[*Task], max int) []*Task {
+	held := make(map[int]bool)
+	batch := q.TakeFunc(max, func(t *Task) bool {
+		if t == nil {
+			return false
+		}
+		if wp.executing[t.Desc.FD] == 0 || held[t.Desc.FD] {
+			held[t.Desc.FD] = true
+			return true
+		}
+		return false
+	})
+	for _, t := range batch {
+		wp.executing[t.Desc.FD]++
+	}
+	return batch
+}
+
+// stealSharded takes half the runnable backlog (capped at Batch) from the
+// deepest sibling shard, falling back to shallower siblings so a runnable
+// task anywhere guarantees progress.
+func (wp *WorkerPool) stealSharded(id int) []*Task {
+	order := make([]int, 0, len(wp.queues)-1)
+	for i := range wp.queues {
+		if i != id {
+			order = append(order, i)
+		}
+	}
+	// Deepest first; index order breaks ties deterministically.
+	for a := 1; a < len(order); a++ {
+		for b := a; b > 0 && wp.queues[order[b]].Len() > wp.queues[order[b-1]].Len(); b-- {
+			order[b], order[b-1] = order[b-1], order[b]
+		}
+	}
+	for _, vi := range order {
+		victim := wp.queues[vi]
+		want := (victim.Len() + 1) / 2
+		if want > wp.cfg.Batch {
+			want = wp.cfg.Batch
+		}
+		if got := wp.takeRunnable(victim, want); len(got) > 0 {
+			wp.steals++
+			return got
+		}
+	}
+	return nil
 }
 
 // ConfirmedWriter is implemented by sinks that can report when written data

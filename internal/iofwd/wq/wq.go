@@ -25,7 +25,8 @@ type Config struct {
 	Workers int
 	// Batch caps tasks dequeued per worker wakeup (I/O multiplexing).
 	Batch int
-	// Discipline selects SharedFIFO (the paper) or LeastLoaded (ablation).
+	// Discipline selects SharedFIFO (the paper), LeastLoaded (ablation), or
+	// Sharded (the production scheduler's work-stealing model).
 	Discipline iofwd.Discipline
 }
 
