@@ -21,6 +21,7 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,10 +39,21 @@ import (
 // progress is the client-side telemetry the periodic reporter reads; the
 // worker goroutines bump it after every completed operation.
 var progress struct {
-	ops      telemetry.Counter
-	bytes    telemetry.Counter
-	errs     telemetry.Counter
-	deferred telemetry.Counter
+	ops         telemetry.Counter
+	bytes       telemetry.Counter
+	errs        telemetry.Counter
+	deferred    telemetry.Counter
+	verifyFails telemetry.Counter
+}
+
+// fillPattern writes client c's iteration i payload: a deterministic byte
+// string every reader can recompute, so -readback catches data served from
+// the wrong stripe, offset, or replica.
+func fillPattern(buf []byte, c, i int) {
+	base := int64(c)*1_000_003 + int64(i)*257
+	for j := range buf {
+		buf[j] = byte(1 + (base+int64(j))%251)
+	}
 }
 
 // report prints one stats line per interval until stop is closed.
@@ -92,6 +104,7 @@ func main() {
 	msg := flag.Int("msg", 1<<20, "message size in bytes")
 	iters := flag.Int("iters", 100, "messages per client")
 	reads := flag.Bool("reads", false, "benchmark reads instead of writes")
+	readback := flag.Bool("readback", false, "verify mode: write per-iteration patterned payloads, read every one back, and compare byte-for-byte (exit 1 on any mismatch)")
 	reportEvery := flag.Duration("report", time.Second, "periodic stats-line interval on stderr (0 disables)")
 	deadline := flag.Duration("deadline", 0, "per-operation deadline (0 disables)")
 	retries := flag.Int("retries", 0, "max retries of EAGAIN-shed operations, with backoff")
@@ -169,7 +182,34 @@ func main() {
 				return
 			}
 			buf := make([]byte, *msg)
-			if *reads {
+			if *readback {
+				// Verify mode: positional patterned writes, then full
+				// readback with byte comparison. Data corruption (wrong
+				// stripe, stale replica) is invisible to a throughput
+				// run; this mode makes it a counted, fatal result.
+				for i := 0; i < *iters; i++ {
+					fillPattern(buf, c, i)
+					_, err := f.WriteAt(buf, int64(i)*int64(*msg))
+					opDone(*msg, err)
+				}
+				if err := f.Sync(); err != nil {
+					opDone(0, err)
+				}
+				got := make([]byte, *msg)
+				want := make([]byte, *msg)
+				for i := 0; i < *iters; i++ {
+					n, err := f.ReadAt(got, int64(i)*int64(*msg))
+					opDone(*msg, err)
+					if err != nil {
+						continue
+					}
+					fillPattern(want, c, i)
+					if n != *msg || !bytes.Equal(got[:n], want) {
+						progress.verifyFails.Inc()
+						log.Printf("client %d iter %d: readback mismatch (%d bytes)", c, i, n)
+					}
+				}
+			} else if *reads {
 				// Populate, then read back.
 				if _, err := f.WriteAt(buf, 0); err != nil {
 					opDone(0, err)
@@ -208,11 +248,20 @@ func main() {
 	elapsed := time.Since(start)
 	total := int64(progress.bytes.Value())
 	op := "writes"
-	if *reads {
+	if *readback {
+		op = "write+verify rounds"
+	} else if *reads {
 		op = "reads"
 	}
 	fmt.Printf("%d clients x %d %s of %d bytes: %.1f MiB/s aggregate (%.2fs), %d ok, %d errors, %d deferred\n",
 		*clients, *iters, op, *msg,
 		float64(total)/elapsed.Seconds()/(1<<20), elapsed.Seconds(),
 		progress.ops.Value(), progress.errs.Value(), progress.deferred.Value())
+	if *readback {
+		fails := progress.verifyFails.Value()
+		fmt.Printf("readback: %d mismatches\n", fails)
+		if fails > 0 || progress.errs.Value() > 0 {
+			os.Exit(1)
+		}
+	}
 }

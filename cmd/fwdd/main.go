@@ -11,6 +11,16 @@
 //	fwdd -bml-timeout 2s         # degrade writes to the sync path on BML exhaustion
 //	fwdd -fault err=0.01,lat=0.05:5ms,stall=0.001:250ms,short=0.005,panic=1000,seed=42
 //
+// Striped + replicated multi-backend tier (internal/stripetier):
+//
+//	fwdd -backends mem,mem,mem,mem -replicas 2 -stripe-size 65536
+//	fwdd -backends /data/a,/data/b,/data/c -replicas 2
+//	fwdd -backends mem,mem,mem,mem -fault "seed=7;member=2:eio=1,from=10,until=40"
+//
+// Each -backends token is "mem", "null", or a directory path; -fault member
+// sections scope chaos to one member so failover and repair can be drilled
+// deterministically.
+//
 // On SIGINT/SIGTERM the daemon stops accepting, drains the work queue
 // (flushing staged writes), prints a final metrics snapshot to stderr, and
 // exits.
@@ -26,8 +36,11 @@ import (
 	"os/signal"
 	"syscall"
 
+	"strings"
+
 	"repro/internal/core"
 	"repro/internal/core/fault"
+	"repro/internal/stripetier"
 	"repro/internal/telemetry"
 )
 
@@ -44,7 +57,12 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "address for the observability HTTP listener serving /metrics (Prometheus text) and /statz (JSON); empty disables")
 	queueHW := flag.Int("queue-hw", 0, "work-queue high-water mark: shed data ops with EAGAIN past this depth (0 disables)")
 	bmlTimeout := flag.Duration("bml-timeout", 0, "staging-pool admission timeout: past it writes degrade to the synchronous path (0 blocks forever)")
-	faultSpec := flag.String("fault", "", "chaos backend spec, e.g. err=0.01,lat=0.05:5ms,stall=0.001:250ms,short=0.005,panic=1000,seed=42 (empty disables)")
+	faultSpec := flag.String("fault", "", "chaos backend spec, e.g. err=0.01,lat=0.05:5ms,stall=0.001:250ms,short=0.005,panic=1000,seed=42; with -backends, ';'-separated member=N: sections scope faults to one member (empty disables)")
+	backendList := flag.String("backends", "", "comma-separated striped-tier members (each: mem | null | directory path); overrides -backend")
+	stripeSize := flag.Int64("stripe-size", 64<<10, "striping unit in bytes for -backends")
+	replicas := flag.Int("replicas", 2, "replicas per stripe for -backends (capped at the member count)")
+	ejectAfter := flag.Int("eject-after", 0, "consecutive member errors before ejection (0 = stripetier default)")
+	probeBackoff := flag.Int64("probe-backoff", 0, "tier ops an ejected member waits before its first half-open probe; doubles per failed probe (0 = stripetier default)")
 	flag.Parse()
 
 	var m core.Mode
@@ -60,32 +78,83 @@ func main() {
 		os.Exit(2)
 	}
 
-	var backend core.Backend
-	switch *backendKind {
-	case "mem":
-		backend = core.NewMemBackend()
-	case "null":
-		backend = core.NullBackend{}
-	case "file":
-		backend = core.NewFileBackend(*root)
-	case "sink":
-		backend = core.NewSinkBackend(core.NewMemBackend(), *sinkMiBps<<20, 0)
-	default:
-		fmt.Fprintf(os.Stderr, "fwdd: unknown backend %q\n", *backendKind)
+	reg := telemetry.NewRegistry()
+	baseFault, memberFaults, err := fault.ParseMulti(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fwdd: %v\n", err)
 		os.Exit(2)
 	}
 
-	reg := telemetry.NewRegistry()
-	if *faultSpec != "" {
-		cfg, err := fault.Parse(*faultSpec)
+	var backend core.Backend
+	var tier *stripetier.Tier
+	if *backendList != "" {
+		tokens := strings.Split(*backendList, ",")
+		members := make([]core.Backend, 0, len(tokens))
+		for i, tok := range tokens {
+			tok = strings.TrimSpace(tok)
+			member, err := memberBackend(tok)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fwdd: -backends member %d: %v\n", i, err)
+				os.Exit(2)
+			}
+			if *faultSpec != "" {
+				// Every member gets its own seeded chaos wrapper: explicit
+				// member=N: sections win, the rest inherit the base spec
+				// under a derived seed so no two members share a schedule.
+				cfg, ok := memberFaults[i]
+				if !ok {
+					cfg = baseFault
+					cfg.Seed = fault.DeriveSeed(baseFault.Seed, i)
+				}
+				fb := fault.New(member, cfg)
+				fb.Register(reg, telemetry.L("member", fmt.Sprint(i)))
+				member = fb
+			}
+			members = append(members, member)
+		}
+		tier, err = stripetier.New(members, stripetier.Config{
+			StripeSize: *stripeSize,
+			Replicas:   *replicas,
+			Health: stripetier.HealthConfig{
+				MaxConsecutiveErrs: *ejectAfter,
+				ProbeBackoffOps:    *probeBackoff,
+			},
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fwdd: %v\n", err)
 			os.Exit(2)
 		}
-		fb := fault.New(backend, cfg)
-		fb.Register(reg)
-		backend = fb
-		log.Printf("fwdd: chaos backend enabled: %s", *faultSpec)
+		tier.Register(reg)
+		backend = tier
+		if *faultSpec != "" {
+			log.Printf("fwdd: chaos enabled across %d members: %s", len(members), *faultSpec)
+		}
+		log.Printf("fwdd: striped tier: %d members, %d replicas, %d B stripes",
+			tier.Members(), *replicas, *stripeSize)
+	} else {
+		if len(memberFaults) > 0 {
+			fmt.Fprintln(os.Stderr, "fwdd: -fault member sections need -backends")
+			os.Exit(2)
+		}
+		switch *backendKind {
+		case "mem":
+			backend = core.NewMemBackend()
+		case "null":
+			backend = core.NullBackend{}
+		case "file":
+			backend = core.NewFileBackend(*root)
+		case "sink":
+			backend = core.NewSinkBackend(core.NewMemBackend(), *sinkMiBps<<20, 0)
+		default:
+			fmt.Fprintf(os.Stderr, "fwdd: unknown backend %q\n", *backendKind)
+			os.Exit(2)
+		}
+		if *faultSpec != "" {
+			fb := fault.New(backend, baseFault)
+			fb.Register(reg)
+			backend = fb
+			log.Printf("fwdd: chaos backend enabled: %s", *faultSpec)
+		}
 	}
 
 	srv := core.NewServer(core.Config{
@@ -132,14 +201,39 @@ func main() {
 		}
 	}()
 
+	kind := *backendKind
+	if tier != nil {
+		kind = fmt.Sprintf("striped[%d]", tier.Members())
+	}
 	log.Printf("fwdd: %s mode, %d workers, %d MiB BML, %s backend, listening on %s",
-		m, *workers, *bmlMiB, *backendKind, l.Addr())
+		m, *workers, *bmlMiB, kind, l.Addr())
 	if err := srv.Serve(l); err != nil {
 		log.Fatal(err)
+	}
+	if tier != nil {
+		_ = tier.Close()
 	}
 	fmt.Fprintln(os.Stderr, "fwdd: final metrics snapshot:")
 	if err := srv.Metrics().WritePrometheus(os.Stderr); err != nil {
 		log.Printf("fwdd: snapshot: %v", err)
 	}
 	log.Print("fwdd: shutdown complete")
+}
+
+// memberBackend builds one striped-tier member from a -backends token:
+// "mem", "null", or a directory path for a file backend.
+func memberBackend(tok string) (core.Backend, error) {
+	switch tok {
+	case "":
+		return nil, fmt.Errorf("empty member token")
+	case "mem":
+		return core.NewMemBackend(), nil
+	case "null":
+		return core.NullBackend{}, nil
+	default:
+		if err := os.MkdirAll(tok, 0o755); err != nil {
+			return nil, fmt.Errorf("member directory %q: %w", tok, err)
+		}
+		return core.NewFileBackend(tok), nil
+	}
 }

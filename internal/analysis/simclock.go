@@ -20,6 +20,10 @@ var deterministicPkgs = []string{
 	"repro/internal/experiments",
 	"repro/internal/bgp",
 	"repro/internal/core/fault",
+	// The striped tier's health tracker and repair loop are keyed off an
+	// op-driven logical clock, never the wall clock — ejection and
+	// readmission decisions replay exactly from an op trace.
+	"repro/internal/stripetier",
 }
 
 // scopePrefixes builds a Scope func matching any of the prefixes (a prefix

@@ -13,11 +13,14 @@ func register(reg *telemetry.Registry) {
 	reg.GaugeFunc("iofwd_pool_bytes", "ok.", func() int64 { return 0 })
 	reg.MaxGauge("iofwd_peak_bytes", "ok.")
 	reg.MustRegister("iofwd_wait_ns", "ok: histogram inferred from arg type.", &telemetry.Histogram{})
+	reg.Gauge("iofwd_member_state", "ok: enumeration gauge.")
 
 	reg.Counter("requests_total", "bad.")                                                          // want "not iofwd_-prefixed snake_case"
 	reg.Counter("iofwd_requests", "bad.")                                                          // want "must end in _total"
 	reg.Histogram("iofwd_batch_size", "bad.")                                                      // want "must end in a unit suffix"
 	reg.Gauge("iofwd_depth_total", "bad.")                                                         // want "must not end in _total"
+	reg.Counter("iofwd_link_state_total", "bad.")                                                  // want "_state is the enumeration-gauge suffix"
+	reg.Histogram("iofwd_link_state", "bad.")                                                      // want "_state is the enumeration-gauge suffix"
 	reg.Counter("iofwd_MixedCase_total", "bad")                                                    // want "not iofwd_-prefixed snake_case"
 	reg.MustRegister("iofwd_allocs", "bad: counter inferred from arg type.", &telemetry.Counter{}) // want "must end in _total"
 

@@ -28,9 +28,12 @@ type Handle interface {
 // --- Memory backend ---
 
 // MemBackend keeps objects in memory; it is the default for tests and for
-// benchmarks that must not measure the local disk.
+// benchmarks that must not measure the local disk. The name map is guarded
+// by an RWMutex so the hot path (opening an object that already exists)
+// never serializes against other readers; each file carries its own lock,
+// so traffic to different objects does not contend at all.
 type MemBackend struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	files map[string]*memFile
 }
 
@@ -41,36 +44,42 @@ func NewMemBackend() *MemBackend {
 
 // Open implements Backend.
 func (m *MemBackend) Open(name string, create bool) (Handle, error) {
+	m.mu.RLock()
+	f, ok := m.files[name]
+	m.mu.RUnlock()
+	if ok {
+		return f, nil
+	}
+	if !create {
+		return nil, ENOENT
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	f, ok := m.files[name]
-	if !ok {
-		if !create {
-			return nil, ENOENT
-		}
-		f = &memFile{}
-		m.files[name] = f
+	if f, ok := m.files[name]; ok {
+		return f, nil
 	}
+	f = &memFile{}
+	m.files[name] = f
 	return f, nil
 }
 
 // Bytes returns a copy of the named object's contents, for verification.
 func (m *MemBackend) Bytes(name string) ([]byte, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
 	f, ok := m.files[name]
+	m.mu.RUnlock()
 	if !ok {
 		return nil, false
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	out := make([]byte, len(f.data))
 	copy(out, f.data)
 	return out, true
 }
 
 type memFile struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	data []byte
 }
 
@@ -94,8 +103,8 @@ func (f *memFile) ReadAt(b []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, EINVAL
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if off >= int64(len(f.data)) {
 		return 0, nil
 	}
@@ -106,8 +115,8 @@ func (f *memFile) ReadAt(b []byte, off int64) (int, error) {
 func (f *memFile) Sync() error { return nil }
 
 func (f *memFile) Size() (int64, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	return int64(len(f.data)), nil
 }
 

@@ -47,6 +47,14 @@ type Config struct {
 	PanicEvery uint64
 	// OpenErrRate is the probability Open fails with EIO.
 	OpenErrRate float64
+	// From arms the faults only once the 0-based data-op index reaches it.
+	// The rates are still drawn for every op, so the schedule stays a pure
+	// function of (Seed, op index) regardless of the window.
+	From uint64
+	// Until disarms the faults once the op index reaches it; 0 means no
+	// upper bound. Together with From this scripts a deterministic outage
+	// window ("ops 10..40 fail") with no wall clock involved.
+	Until uint64
 }
 
 // Stats counts injected faults by kind.
@@ -101,11 +109,14 @@ func (b *Backend) Stats() Stats {
 }
 
 // Register exports the injection counters on reg as
-// iofwd_fault_injected_total{kind=...}.
-func (b *Backend) Register(reg *telemetry.Registry) {
+// iofwd_fault_injected_total{kind=...}. Extra labels distinguish multiple
+// chaos backends on one registry (e.g. one per stripe member:
+// telemetry.L("member", "2")).
+func (b *Backend) Register(reg *telemetry.Registry, extra ...telemetry.Label) {
 	k := func(kind string, c *telemetry.Counter) {
+		labels := append([]telemetry.Label{telemetry.L("kind", kind)}, extra...)
 		reg.MustRegister("iofwd_fault_injected_total",
-			"Faults injected by the chaos backend, by kind.", c, telemetry.L("kind", kind))
+			"Faults injected by the chaos backend, by kind.", c, labels...)
 	}
 	k("error", &b.errs)
 	k("latency", &b.latencies)
@@ -114,7 +125,7 @@ func (b *Backend) Register(reg *telemetry.Registry) {
 	k("panic", &b.panics)
 	k("open_error", &b.openErrs)
 	reg.MustRegister("iofwd_fault_ops_total",
-		"Data operations that passed through the chaos backend.", &b.opCount)
+		"Data operations that passed through the chaos backend.", &b.opCount, extra...)
 }
 
 // verdict is one op's drawn fault plan.
@@ -127,11 +138,12 @@ type verdict struct {
 }
 
 // decide draws the fault plan for the next data op. Every rate is drawn
-// even when zero so the schedule depends only on (Seed, op index), not on
-// which faults are enabled.
+// even when zero (and even outside the From/Until window) so the schedule
+// depends only on (Seed, op index), not on which faults are enabled.
 func (b *Backend) decide() verdict {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	idx := b.ops // 0-based index of the op being decided
 	b.ops++
 	v := verdict{
 		err:     b.rng.Float64() < b.cfg.ErrRate,
@@ -142,7 +154,21 @@ func (b *Backend) decide() verdict {
 	if b.cfg.PanicEvery > 0 && b.ops%b.cfg.PanicEvery == 0 {
 		v.panicy = true
 	}
+	if !b.armedLocked(idx) {
+		return verdict{}
+	}
 	return v
+}
+
+// armedLocked reports whether faults apply at the given 0-based op index.
+func (b *Backend) armedLocked(idx uint64) bool {
+	if idx < b.cfg.From {
+		return false
+	}
+	if b.cfg.Until > 0 && idx >= b.cfg.Until {
+		return false
+	}
+	return true
 }
 
 // Open implements core.Backend.
@@ -150,6 +176,7 @@ func (b *Backend) Open(name string, create bool) (core.Handle, error) {
 	if b.cfg.OpenErrRate > 0 {
 		b.mu.Lock()
 		fail := b.rng.Float64() < b.cfg.OpenErrRate
+		fail = fail && b.armedLocked(b.ops)
 		b.mu.Unlock()
 		if fail {
 			b.openErrs.Inc()
@@ -254,7 +281,7 @@ func Parse(spec string) (Config, error) {
 		}
 		var err error
 		switch key {
-		case "err":
+		case "err", "eio":
 			cfg.ErrRate, err = rate(val)
 		case "lat":
 			cfg.LatencyRate, cfg.Latency, err = rateDuration(key, val, 2*time.Millisecond)
@@ -266,6 +293,10 @@ func Parse(spec string) (Config, error) {
 			cfg.OpenErrRate, err = rate(val)
 		case "panic":
 			cfg.PanicEvery, err = strconv.ParseUint(val, 10, 64)
+		case "from":
+			cfg.From, err = strconv.ParseUint(val, 10, 64)
+		case "until":
+			cfg.Until, err = strconv.ParseUint(val, 10, 64)
 		case "seed":
 			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
 		default:
@@ -276,6 +307,92 @@ func Parse(spec string) (Config, error) {
 		}
 	}
 	return cfg, nil
+}
+
+// ParseMulti builds a base Config plus per-member overrides from a
+// ';'-separated spec, e.g.
+//
+//	seed=7;member=2:eio=0.05,from=10,until=40
+//
+// Sections without a "member=N:" prefix accumulate into the base config
+// (and, via Parse's last-wins key handling, may be split across sections).
+// A member section starts from the accumulated base and overlays its own
+// fields, so "seed=7" above seeds every member's schedule. Unless a member
+// section sets its own seed, each member's RNG is seeded with
+// DeriveSeed(base seed, member), so members draw independent schedules
+// that are still pure functions of (seed, member, op index).
+func ParseMulti(spec string) (Config, map[int]Config, error) {
+	var baseParts []string
+	type memberPart struct {
+		member int
+		spec   string
+	}
+	var memberParts []memberPart
+	for _, sec := range strings.Split(spec, ";") {
+		sec = strings.TrimSpace(sec)
+		if sec == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(sec, "member="); ok {
+			ms, body, ok := strings.Cut(rest, ":")
+			if !ok {
+				return Config{}, nil, fmt.Errorf("fault: member section %q wants member=N:spec", sec)
+			}
+			m, err := strconv.Atoi(ms)
+			if err != nil || m < 0 {
+				return Config{}, nil, fmt.Errorf("fault: bad member index %q", ms)
+			}
+			memberParts = append(memberParts, memberPart{m, body})
+			continue
+		}
+		baseParts = append(baseParts, sec)
+	}
+	baseSpec := strings.Join(baseParts, ",")
+	base, err := Parse(baseSpec)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	members := make(map[int]Config)
+	for _, mp := range memberParts {
+		combined := mp.spec
+		if baseSpec != "" {
+			combined = baseSpec + "," + mp.spec
+		}
+		cfg, err := Parse(combined)
+		if err != nil {
+			return Config{}, nil, fmt.Errorf("fault: member %d: %w", mp.member, err)
+		}
+		// A member that inherited the base seed gets a derived one, so two
+		// members under the same global seed do not mirror each other's
+		// schedules. An explicit per-member seed wins.
+		memberOwn, err := Parse(mp.spec)
+		if err != nil {
+			return Config{}, nil, fmt.Errorf("fault: member %d: %w", mp.member, err)
+		}
+		if memberOwn.Seed == 0 {
+			cfg.Seed = DeriveSeed(base.Seed, mp.member)
+		}
+		if _, dup := members[mp.member]; dup {
+			return Config{}, nil, fmt.Errorf("fault: member %d configured twice", mp.member)
+		}
+		members[mp.member] = cfg
+	}
+	return base, members, nil
+}
+
+// DeriveSeed mixes a base seed with a member index into an independent
+// per-member seed (splitmix64 finalizer — a pure function, so a chaos run
+// is reproducible from the base seed alone).
+func DeriveSeed(seed int64, member int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(member+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	s := int64(z)
+	if s == 0 {
+		s = 1
+	}
+	return s
 }
 
 // rateDuration parses "rate" or "rate:duration" with a default duration.

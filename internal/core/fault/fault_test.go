@@ -165,6 +165,91 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestOpWindow: From/Until scripts a deterministic outage window — faults
+// fire only while the 0-based op index is inside [From, Until).
+func TestOpWindow(t *testing.T) {
+	out := outcomes(t, Config{Seed: 1, ErrRate: 1, From: 3, Until: 6}, 10)
+	want := []string{"ok", "ok", "ok", "err", "err", "err", "ok", "ok", "ok", "ok"}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("window schedule %v, want %v", out, want)
+		}
+	}
+	// The window must not perturb the drawn schedule: ops outside it still
+	// consume the same draws, so a windowed and unwindowed run agree inside
+	// the window.
+	full := outcomes(t, Config{Seed: 7, ErrRate: 0.5}, 20)
+	windowed := outcomes(t, Config{Seed: 7, ErrRate: 0.5, From: 5, Until: 15}, 20)
+	for i := 5; i < 15; i++ {
+		if full[i] != windowed[i] {
+			t.Fatalf("op %d: windowed run drew %s, unwindowed %s", i, windowed[i], full[i])
+		}
+	}
+}
+
+// TestEioAlias: "eio" parses as "err".
+func TestEioAlias(t *testing.T) {
+	cfg, err := Parse("eio=0.25")
+	if err != nil || cfg.ErrRate != 0.25 {
+		t.Fatalf("eio alias: %+v err=%v", cfg, err)
+	}
+}
+
+// TestParseMulti covers the member-section grammar and seed derivation.
+func TestParseMulti(t *testing.T) {
+	base, members, err := ParseMulti("seed=7,lat=0.1:1ms;member=2:eio=0.05,from=10,until=40;member=0:seed=99,err=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Seed != 7 || base.LatencyRate != 0.1 {
+		t.Fatalf("base = %+v", base)
+	}
+	m2, ok := members[2]
+	if !ok {
+		t.Fatal("member 2 missing")
+	}
+	if m2.ErrRate != 0.05 || m2.From != 10 || m2.Until != 40 || m2.LatencyRate != 0.1 {
+		t.Fatalf("member 2 = %+v (must inherit base fields and overlay its own)", m2)
+	}
+	if m2.Seed != DeriveSeed(7, 2) {
+		t.Fatalf("member 2 seed %d, want derived %d", m2.Seed, DeriveSeed(7, 2))
+	}
+	if m0 := members[0]; m0.Seed != 99 || m0.ErrRate != 1 {
+		t.Fatalf("member 0 = %+v (explicit seed must win)", m0)
+	}
+	if _, _, err := ParseMulti("member=1:err=1;member=1:err=0"); err == nil {
+		t.Fatal("duplicate member section accepted")
+	}
+	if _, _, err := ParseMulti("member=x:err=1"); err == nil {
+		t.Fatal("bad member index accepted")
+	}
+	if _, _, err := ParseMulti("member=1"); err == nil {
+		t.Fatal("member section without spec accepted")
+	}
+	if base, members, err := ParseMulti(""); err != nil || base != (Config{}) || len(members) != 0 {
+		t.Fatal("empty multi spec must be the zero config")
+	}
+}
+
+// TestDeriveSeed: derived seeds are deterministic, member-distinct, and
+// never zero (zero would mean "seed 1" downstream).
+func TestDeriveSeed(t *testing.T) {
+	seen := make(map[int64]int)
+	for m := 0; m < 64; m++ {
+		s := DeriveSeed(7, m)
+		if s == 0 {
+			t.Fatalf("member %d derived seed 0", m)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("members %d and %d derive the same seed", prev, m)
+		}
+		seen[s] = m
+		if s != DeriveSeed(7, m) {
+			t.Fatalf("member %d seed not deterministic", m)
+		}
+	}
+}
+
 // TestOpenErrRate: open faults surface as EIO from Open.
 func TestOpenErrRate(t *testing.T) {
 	b := New(core.NewMemBackend(), Config{Seed: 1, OpenErrRate: 1})

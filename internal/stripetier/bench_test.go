@@ -1,0 +1,90 @@
+package stripetier
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkStripeScaling measures aggregate write throughput into ONE
+// shared object (the N-to-1 checkpoint pattern) as the member count grows.
+//
+// Two member flavours:
+//
+//   - raw: bare MemBackends. With one member every writer serializes on
+//     that member's per-file lock; striping spreads the lock traffic. On a
+//     multi-core machine this arm scales until memory bandwidth saturates;
+//     on a single-core CI runner it is flat (the copies themselves are the
+//     serialized resource) — which is itself the honest number.
+//   - sink: MemBackends behind a per-member 256 MiB/s bandwidth throttle
+//     (core.SinkBackend — the same device the repo's other benchmarks use
+//     to model a real file server on a development machine). Here the
+//     measured quantity is aggregate member bandwidth, the thing striping
+//     actually buys: N members ≈ N × 256 MiB/s until the replication
+//     factor eats the gain back.
+func BenchmarkStripeScaling(b *testing.B) {
+	const (
+		stripeSize = 64 << 10
+		// windowStripes bounds the shared object's extent so the dense
+		// in-memory members stay small no matter how long the bench runs.
+		windowStripes = 64
+		sinkRate      = 256 << 20 // per-member bytes/sec for the sink arm
+	)
+	member := func(flavour string) core.Backend {
+		switch flavour {
+		case "raw":
+			return core.NewMemBackend()
+		default:
+			return core.NewSinkBackend(core.NewMemBackend(), sinkRate, 0)
+		}
+	}
+	for _, flavour := range []string{"raw", "sink"} {
+		for _, n := range []int{1, 2, 4, 8} {
+			for _, r := range []int{1, 2} {
+				if r > n {
+					continue
+				}
+				name := fmt.Sprintf("%s/members=%d/replicas=%d", flavour, n, r)
+				b.Run(name, func(b *testing.B) {
+					members := make([]core.Backend, n)
+					for i := range members {
+						members[i] = member(flavour)
+					}
+					tier, err := New(members, Config{StripeSize: stripeSize, Replicas: r})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer tier.Close()
+					h, err := tier.Open("shared/checkpoint", true)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var next atomic.Int64
+					payload := make([]byte, stripeSize)
+					for i := range payload {
+						payload[i] = byte(i)
+					}
+					// The sink arm is latency-bound (each op waits out its
+					// modeled transfer time), so it needs enough in-flight
+					// writers to keep all members busy at once.
+					b.SetParallelism(32)
+					b.SetBytes(stripeSize)
+					b.ResetTimer()
+					b.RunParallel(func(pb *testing.PB) {
+						buf := make([]byte, stripeSize)
+						copy(buf, payload)
+						for pb.Next() {
+							s := next.Add(1) % windowStripes
+							if _, err := h.WriteAt(buf, s*stripeSize); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					})
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package stripetier
+
+import "testing"
+
+// testHealthCfg is a small, fast state machine for unit tests.
+func testHealthCfg() HealthConfig {
+	return HealthConfig{
+		MaxConsecutiveErrs: 3,
+		WindowOps:          8,
+		MaxErrorRate:       0.5,
+		MinWindowSamples:   4,
+		ProbeBackoffOps:    4,
+		MaxProbeBackoffOps: 16,
+		ProbeSuccesses:     2,
+	}
+}
+
+func TestHealthConsecutiveEjection(t *testing.T) {
+	h := newHealth(2, testHealthCfg())
+	for i := 0; i < 2; i++ {
+		if !h.allowed(0) {
+			t.Fatalf("op %d: healthy member refused", i)
+		}
+		h.record(0, false)
+		if h.state(0) != StateHealthy {
+			t.Fatalf("ejected after %d errors, threshold is 3", i+1)
+		}
+	}
+	h.allowed(0)
+	if tr := h.record(0, false); tr != transEjected {
+		t.Fatalf("third consecutive error: transition %v, want eject", tr)
+	}
+	if h.state(0) != StateEjected {
+		t.Fatalf("state %v, want ejected", h.state(0))
+	}
+	if h.allowed(0) {
+		t.Fatal("ejected member still receives traffic")
+	}
+}
+
+func TestHealthRateEjection(t *testing.T) {
+	h := newHealth(1, testHealthCfg())
+	// Alternate ok/err: consecutive never reaches 3, but the windowed rate
+	// hits 50% once MinWindowSamples (4) results are in.
+	pattern := []bool{true, false, true, false, true, false}
+	ejected := false
+	for _, ok := range pattern {
+		if h.state(0) == StateEjected {
+			ejected = true
+			break
+		}
+		h.allowed(0)
+		if h.record(0, ok) == transEjected {
+			ejected = true
+			break
+		}
+	}
+	if !ejected {
+		t.Fatalf("50%% error rate over %d samples did not eject", len(pattern))
+	}
+}
+
+func TestHealthRateNeedsMinSamples(t *testing.T) {
+	h := newHealth(1, testHealthCfg())
+	// Two results, one error = 50% rate, but below MinWindowSamples.
+	h.allowed(0)
+	h.record(0, true)
+	h.allowed(0)
+	h.record(0, false)
+	if h.state(0) != StateHealthy {
+		t.Fatal("rate trip fired below the minimum sample count")
+	}
+}
+
+func TestHealthProbeRecovery(t *testing.T) {
+	h := newHealth(2, testHealthCfg())
+	for i := 0; i < 3; i++ {
+		h.allowed(0)
+		h.record(0, false)
+	}
+	if h.state(0) != StateEjected {
+		t.Fatal("not ejected")
+	}
+	// Advance the logical clock with traffic on the sibling; backoff is 4.
+	for i := 0; i < 4; i++ {
+		if h.allowed(0) {
+			t.Fatalf("probe admitted after only %d ticks (backoff 4)", i)
+		}
+		h.allowed(1)
+		h.record(1, true)
+	}
+	if !h.allowed(0) {
+		t.Fatal("backoff elapsed but member not half-open")
+	}
+	if h.state(0) != StateHalfOpen {
+		t.Fatalf("state %v, want half-open", h.state(0))
+	}
+	// Only one probe in flight at a time.
+	if h.allowed(0) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	h.record(0, true)
+	if !h.allowed(0) {
+		t.Fatal("second probe refused after first succeeded")
+	}
+	if tr := h.record(0, true); tr != transReadmitted {
+		t.Fatalf("after 2 probe successes: transition %v, want readmit", tr)
+	}
+	if h.state(0) != StateHealthy {
+		t.Fatalf("state %v, want healthy", h.state(0))
+	}
+}
+
+func TestHealthProbeFailureDoublesBackoff(t *testing.T) {
+	h := newHealth(2, testHealthCfg())
+	for i := 0; i < 3; i++ {
+		h.allowed(0)
+		h.record(0, false)
+	}
+	// First backoff: 4 ticks.
+	for i := 0; i < 4; i++ {
+		h.allowed(1)
+		h.record(1, true)
+	}
+	if !h.allowed(0) {
+		t.Fatal("probe not admitted after first backoff")
+	}
+	h.record(0, false) // failed probe: re-eject with doubled backoff (8)
+	if h.state(0) != StateEjected {
+		t.Fatal("failed probe did not re-eject")
+	}
+	for i := 0; i < 7; i++ {
+		if h.allowed(0) {
+			t.Fatalf("probe admitted after %d ticks, doubled backoff is 8", i)
+		}
+		h.allowed(1)
+		h.record(1, true)
+	}
+	h.allowed(1)
+	h.record(1, true)
+	if !h.allowed(0) {
+		t.Fatal("probe not admitted after doubled backoff")
+	}
+	// Successful recovery resets the backoff to the base value.
+	h.record(0, true)
+	h.allowed(0)
+	h.record(0, true)
+	if h.state(0) != StateHealthy {
+		t.Fatal("not readmitted")
+	}
+	if h.members[0].backoff != testHealthCfg().ProbeBackoffOps {
+		t.Fatalf("backoff %d after readmission, want reset to %d",
+			h.members[0].backoff, testHealthCfg().ProbeBackoffOps)
+	}
+}
+
+func TestHealthTransitionCallback(t *testing.T) {
+	h := newHealth(1, testHealthCfg())
+	var events []transition
+	h.onTransition = func(m int, s State, tr transition) { events = append(events, tr) }
+	for i := 0; i < 3; i++ {
+		h.allowed(0)
+		h.record(0, false)
+	}
+	for i := 0; i < 4; i++ {
+		h.tick.Add(1) // no sibling: advance the clock directly
+	}
+	h.allowed(0)
+	h.record(0, true)
+	h.allowed(0)
+	h.record(0, true)
+	want := []transition{transEjected, transHalfOpen, transReadmitted}
+	if len(events) != len(want) {
+		t.Fatalf("events %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, events[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package stripetier composes N child core.Backends into one striped,
+// replicated backend with transparent failover — the multi-FSN fan-out the
+// simulator already models (internal/storage) brought to the real server
+// stack. Writes are split into block-aligned stripes and each stripe is
+// written to R members (chain order rotated per stripe so load spreads);
+// reads recombine stripes and fail over to a surviving replica on error. A
+// per-member health tracker ejects members that keep failing and re-admits
+// them after successful half-open probes, and a background repair loop
+// re-replicates stripes whose replica count dropped while a member was out.
+//
+// All health decisions are driven by observed operation results on a
+// logical op-count clock — never the wall clock — so the whole subsystem
+// stays deterministic and replayable under the repository's simclock
+// discipline.
+package stripetier
+
+// span is one stripe-aligned piece of a byte range: the part of stripe
+// number stripe covering buf[bufLo:bufHi] at logical offset off. Members
+// store stripes at their logical offsets (a sparse layout), so off is both
+// the logical and the member-local offset; what striping changes is only
+// which members hold the bytes.
+type span struct {
+	stripe int64
+	off    int64
+	bufLo  int
+	bufHi  int
+}
+
+// spans splits the range [off, off+n) into per-stripe pieces in ascending
+// stripe order. stripeSize must be positive.
+func spans(off int64, n int, stripeSize int64) []span {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]span, 0, int64(n)/stripeSize+2)
+	pos := off
+	end := off + int64(n)
+	for pos < end {
+		s := pos / stripeSize
+		stripeEnd := (s + 1) * stripeSize
+		if stripeEnd > end {
+			stripeEnd = end
+		}
+		out = append(out, span{
+			stripe: s,
+			off:    pos,
+			bufLo:  int(pos - off),
+			bufHi:  int(stripeEnd - off),
+		})
+		pos = stripeEnd
+	}
+	return out
+}
+
+// replicaChain returns the members holding stripe s, primary first. The
+// chain starts at s mod n and wraps, so consecutive stripes rotate their
+// primary (and every replica position) across the membership — the load
+// spread GPFS gets from rotating first-server placement per file, applied
+// per stripe.
+func replicaChain(s int64, members, replicas int) []int {
+	if replicas > members {
+		replicas = members
+	}
+	chain := make([]int, replicas)
+	first := int(s % int64(members))
+	for i := range chain {
+		chain[i] = (first + i) % members
+	}
+	return chain
+}

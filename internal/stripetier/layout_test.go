@@ -1,0 +1,72 @@
+package stripetier
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSpans(t *testing.T) {
+	cases := []struct {
+		off        int64
+		n          int
+		stripeSize int64
+		want       []span
+	}{
+		{0, 0, 16, nil},
+		{0, 10, 16, []span{{0, 0, 0, 10}}},
+		{0, 16, 16, []span{{0, 0, 0, 16}}},
+		{0, 17, 16, []span{{0, 0, 0, 16}, {1, 16, 16, 17}}},
+		{5, 16, 16, []span{{0, 5, 0, 11}, {1, 16, 11, 16}}},
+		{16, 16, 16, []span{{1, 16, 0, 16}}},
+		{30, 40, 16, []span{{1, 30, 0, 2}, {2, 32, 2, 18}, {3, 48, 18, 34}, {4, 64, 34, 40}}},
+	}
+	for _, c := range cases {
+		got := spans(c.off, c.n, c.stripeSize)
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("spans(%d, %d, %d) = %+v, want %+v", c.off, c.n, c.stripeSize, got, c.want)
+		}
+		// Pieces must tile [off, off+n) exactly.
+		covered := 0
+		for _, sp := range got {
+			if sp.bufLo != covered {
+				t.Errorf("spans(%d,%d,%d): gap at bufLo %d", c.off, c.n, c.stripeSize, sp.bufLo)
+			}
+			if sp.off != c.off+int64(sp.bufLo) {
+				t.Errorf("spans(%d,%d,%d): off %d does not match bufLo %d", c.off, c.n, c.stripeSize, sp.off, sp.bufLo)
+			}
+			covered = sp.bufHi
+		}
+		if covered != c.n && c.n > 0 {
+			t.Errorf("spans(%d,%d,%d): covered %d of %d bytes", c.off, c.n, c.stripeSize, covered, c.n)
+		}
+	}
+}
+
+func TestReplicaChain(t *testing.T) {
+	if got := replicaChain(0, 4, 2); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("chain(0,4,2) = %v", got)
+	}
+	if got := replicaChain(3, 4, 2); !reflect.DeepEqual(got, []int{3, 0}) {
+		t.Errorf("chain(3,4,2) = %v", got)
+	}
+	if got := replicaChain(6, 4, 3); !reflect.DeepEqual(got, []int{2, 3, 0}) {
+		t.Errorf("chain(6,4,3) = %v", got)
+	}
+	// Replicas capped at the member count.
+	if got := replicaChain(1, 2, 5); !reflect.DeepEqual(got, []int{1, 0}) {
+		t.Errorf("chain(1,2,5) = %v", got)
+	}
+	// Rotation spreads primaries evenly.
+	counts := make([]int, 4)
+	for s := int64(0); s < 40; s++ {
+		counts[replicaChain(s, 4, 2)[0]]++
+	}
+	for m, c := range counts {
+		if c != 10 {
+			t.Errorf("member %d is primary for %d of 40 stripes, want 10", m, c)
+		}
+	}
+}

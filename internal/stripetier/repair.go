@@ -1,0 +1,222 @@
+package stripetier
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// repairKey identifies one missing stripe replica: member never received
+// (or failed) the write of stripe on the named object.
+type repairKey struct {
+	name   string
+	stripe int64
+	member int
+}
+
+// repairer re-replicates stripes whose replica count dropped. Writes that
+// skip an ejected member (or observe a replica write fail) enqueue the gap
+// here; the background loop copies the stripe from a surviving replica to
+// the missing member once that member accepts traffic again. Repair
+// attempts go through the same allowed/record gate as client traffic, so
+// they double as probes for half-open members.
+//
+// The pending set also serves reads: a replica queued for repair is stale
+// (it would return zeros, not data), so the read path skips it — see
+// tierHandle.ReadAt.
+type repairer struct {
+	t *Tier
+
+	mu      sync.Mutex
+	pending map[repairKey]struct{}
+	closed  bool
+
+	// kick wakes the loop; buffered so enqueue never blocks.
+	kick chan struct{}
+	done chan struct{}
+}
+
+func newRepairer(t *Tier) *repairer {
+	return &repairer{
+		t:       t,
+		pending: make(map[repairKey]struct{}),
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+}
+
+// enqueue records a missing replica and wakes the loop.
+func (r *repairer) enqueue(name string, stripe int64, member int) {
+	r.mu.Lock()
+	if !r.closed {
+		r.pending[repairKey{name, stripe, member}] = struct{}{}
+	}
+	r.mu.Unlock()
+	r.kickNow()
+}
+
+// isPending reports whether member's copy of stripe is queued for repair
+// (and therefore stale for reads).
+func (r *repairer) isPending(name string, stripe int64, member int) bool {
+	key := repairKey{name, stripe, member}
+	r.mu.Lock()
+	_, ok := r.pending[key]
+	r.mu.Unlock()
+	return ok
+}
+
+// pendingCount is the repair-queue depth gauge.
+func (r *repairer) pendingCount() int64 {
+	r.mu.Lock()
+	n := len(r.pending)
+	r.mu.Unlock()
+	return int64(n)
+}
+
+// kickNow nudges the loop without blocking.
+func (r *repairer) kickNow() {
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// close stops the loop and waits for it to exit.
+func (r *repairer) close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.kickNow()
+	<-r.done
+}
+
+// loop drains the pending set whenever kicked. Entries whose member is
+// still ejected stay queued; the next kick (more traffic, a readmission)
+// retries them. The loop owns no timer: like the health tracker it is
+// driven purely by observed events.
+func (r *repairer) loop() {
+	defer close(r.done)
+	for range r.kick {
+		r.mu.Lock()
+		closed := r.closed
+		keys := make([]repairKey, 0, len(r.pending))
+		for k := range r.pending {
+			keys = append(keys, k)
+		}
+		r.mu.Unlock()
+		if closed {
+			return
+		}
+		// Deterministic order: name, then stripe, then member.
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.name != b.name {
+				return a.name < b.name
+			}
+			if a.stripe != b.stripe {
+				return a.stripe < b.stripe
+			}
+			return a.member < b.member
+		})
+		for _, k := range keys {
+			if r.repairOne(k) {
+				r.mu.Lock()
+				delete(r.pending, k)
+				r.mu.Unlock()
+				r.t.metrics.repairs.Inc()
+			}
+		}
+	}
+}
+
+// repairOne copies stripe k.stripe from a surviving replica onto k.member.
+// It returns true when the replica is whole again (including the case
+// where no surviving replica holds any data — nothing to copy).
+func (r *repairer) repairOne(k repairKey) bool {
+	t := r.t
+	if !t.health.allowed(k.member) {
+		return false
+	}
+	// The member accepted the probe slot: from here every outcome must be
+	// recorded exactly once.
+	data, n, ok := r.readSurvivor(k)
+	if !ok {
+		// No surviving replica is readable right now; release the probe
+		// slot with a neutral success (the target member did nothing
+		// wrong) and keep the entry queued.
+		t.recordOp(k.member, nil)
+		t.metrics.repairErrs.Inc()
+		return false
+	}
+	if n == 0 {
+		// The stripe was never durably written anywhere (the write that
+		// enqueued this entry failed everywhere, or it is beyond EOF).
+		// There is nothing to copy and nothing missing.
+		t.recordOp(k.member, nil)
+		return true
+	}
+	h, err := t.members[k.member].Open(k.name, true)
+	if err != nil {
+		t.recordOp(k.member, err)
+		t.metrics.repairErrs.Inc()
+		return false
+	}
+	defer h.Close()
+	wn, err := h.WriteAt(data[:n], k.stripe*t.cfg.StripeSize)
+	if err == nil && wn < n {
+		err = fmt.Errorf("%w: short repair write (%d of %d bytes)", core.EIO, wn, n)
+	}
+	t.recordOp(k.member, err)
+	if err != nil {
+		t.metrics.repairErrs.Inc()
+		return false
+	}
+	return true
+}
+
+// readSurvivor reads stripe k.stripe from the first healthy, non-stale
+// replica. It reports ok=false when no survivor could be read. When every
+// reachable survivor reports ENOENT the stripe was never durably written
+// anywhere, which readSurvivor reports as (nil, 0, true): whole by vacancy.
+func (r *repairer) readSurvivor(k repairKey) (data []byte, n int, ok bool) {
+	t := r.t
+	buf := make([]byte, t.cfg.StripeSize)
+	off := k.stripe * t.cfg.StripeSize
+	attempted, notFound := 0, 0
+	for _, m := range replicaChain(k.stripe, len(t.members), t.cfg.Replicas) {
+		if m == k.member || r.isPending(k.name, k.stripe, m) {
+			continue
+		}
+		if !t.health.allowed(m) {
+			continue
+		}
+		attempted++
+		h, err := t.members[m].Open(k.name, false)
+		if err != nil {
+			// ENOENT means this member legitimately holds no data for the
+			// object (a healthy answer, not an I/O failure).
+			t.recordOp(m, ignoreNotFound(err))
+			if isNotFound(err) {
+				notFound++
+			}
+			continue
+		}
+		rn, err := h.ReadAt(buf, off)
+		_ = h.Close()
+		t.recordOp(m, err)
+		if err != nil {
+			continue
+		}
+		return buf, rn, true
+	}
+	if attempted > 0 && notFound == attempted {
+		return nil, 0, true
+	}
+	return nil, 0, false
+}

@@ -1,0 +1,409 @@
+package stripetier
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// flakyMember wraps a backend with switchable failure injection, for
+// deterministic degraded-mode tests (the seeded fault backend is exercised
+// in the e2e test; here we want exact control of when a member is sick).
+type flakyMember struct {
+	inner    core.Backend
+	fail     atomic.Bool // data ops return EIO
+	failOpen atomic.Bool // opens return EIO
+}
+
+func (f *flakyMember) Open(name string, create bool) (core.Handle, error) {
+	if f.failOpen.Load() {
+		return nil, fmt.Errorf("%w: injected open failure", core.EIO)
+	}
+	h, err := f.inner.Open(name, create)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyHandle{f: f, inner: h}, nil
+}
+
+type flakyHandle struct {
+	f     *flakyMember
+	inner core.Handle
+}
+
+func (h *flakyHandle) WriteAt(b []byte, off int64) (int, error) {
+	if h.f.fail.Load() {
+		return 0, fmt.Errorf("%w: injected write failure", core.EIO)
+	}
+	return h.inner.WriteAt(b, off)
+}
+
+func (h *flakyHandle) ReadAt(b []byte, off int64) (int, error) {
+	if h.f.fail.Load() {
+		return 0, fmt.Errorf("%w: injected read failure", core.EIO)
+	}
+	return h.inner.ReadAt(b, off)
+}
+
+func (h *flakyHandle) Sync() error {
+	if h.f.fail.Load() {
+		return fmt.Errorf("%w: injected sync failure", core.EIO)
+	}
+	return h.inner.Sync()
+}
+func (h *flakyHandle) Size() (int64, error) { return h.inner.Size() }
+func (h *flakyHandle) Close() error         { return h.inner.Close() }
+
+// pattern fills a deterministic, offset-dependent byte string so stripe
+// reassembly errors (wrong member, wrong offset) are always visible.
+func pattern(off int64, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(1 + (off+int64(i))%251)
+	}
+	return b
+}
+
+// newTestTier builds a tier over n flaky-wrapped MemBackends with a fast
+// health config.
+func newTestTier(t *testing.T, n, replicas int, stripeSize int64) (*Tier, []*flakyMember, []*core.MemBackend) {
+	t.Helper()
+	mems := make([]*core.MemBackend, n)
+	flaky := make([]*flakyMember, n)
+	members := make([]core.Backend, n)
+	for i := range members {
+		mems[i] = core.NewMemBackend()
+		flaky[i] = &flakyMember{inner: mems[i]}
+		members[i] = flaky[i]
+	}
+	tier, err := New(members, Config{
+		StripeSize: stripeSize,
+		Replicas:   replicas,
+		Health:     testHealthCfg(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tier.Close() })
+	return tier, flaky, mems
+}
+
+func TestStripeRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		members, replicas int
+		stripe            int64
+	}{
+		{1, 1, 16}, {2, 1, 16}, {2, 2, 16}, {4, 2, 16}, {5, 3, 32}, {4, 4, 16},
+	} {
+		name := fmt.Sprintf("n%d_r%d_s%d", tc.members, tc.replicas, tc.stripe)
+		t.Run(name, func(t *testing.T) {
+			tier, _, _ := newTestTier(t, tc.members, tc.replicas, tc.stripe)
+			h, err := tier.Open("obj", true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Unaligned writes crossing several stripes, out of order.
+			writes := []struct {
+				off int64
+				n   int
+			}{{40, 30}, {0, 45}, {100, 7}, {45, 55}}
+			max := int64(0)
+			for _, w := range writes {
+				data := pattern(w.off, w.n)
+				n, err := h.WriteAt(data, w.off)
+				if err != nil || n != w.n {
+					t.Fatalf("WriteAt(%d, %d) = %d, %v", w.off, w.n, n, err)
+				}
+				if end := w.off + int64(w.n); end > max {
+					max = end
+				}
+			}
+			if sz, err := h.Size(); err != nil || sz != max {
+				t.Fatalf("Size = %d, %v, want %d", sz, err, max)
+			}
+			// Full readback.
+			got := make([]byte, max)
+			n, err := h.ReadAt(got, 0)
+			if err != nil || int64(n) != max {
+				t.Fatalf("ReadAt full = %d, %v, want %d", n, err, max)
+			}
+			if !bytes.Equal(got, pattern(0, int(max))) {
+				t.Fatal("full readback mismatch")
+			}
+			// Unaligned partial read crossing stripes.
+			got = make([]byte, 50)
+			if n, err := h.ReadAt(got, 13); err != nil || n != 50 {
+				t.Fatalf("ReadAt(13, 50) = %d, %v", n, err)
+			}
+			if !bytes.Equal(got, pattern(13, 50)) {
+				t.Fatal("partial readback mismatch")
+			}
+			// Read past EOF is short with nil error (single-target
+			// semantics).
+			got = make([]byte, 64)
+			n, err = h.ReadAt(got, max-10)
+			if err != nil || n != 10 {
+				t.Fatalf("ReadAt past EOF = %d, %v, want 10, nil", n, err)
+			}
+			if err := h.Sync(); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+			if err := h.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		})
+	}
+}
+
+func TestStripeOpenSemantics(t *testing.T) {
+	tier, _, _ := newTestTier(t, 3, 2, 16)
+	if _, err := tier.Open("missing", false); !errors.Is(err, core.ENOENT) {
+		t.Fatalf("Open(missing) = %v, want ENOENT", err)
+	}
+	h, err := tier.Open("obj", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(pattern(0, 40), 0); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := tier.Open("obj", false)
+	if err != nil {
+		t.Fatalf("Open(existing, create=false): %v", err)
+	}
+	got := make([]byte, 40)
+	if n, err := h2.ReadAt(got, 0); err != nil || n != 40 {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, pattern(0, 40)) {
+		t.Fatal("readback through second handle mismatch")
+	}
+}
+
+func TestStripeReadFailover(t *testing.T) {
+	tier, flaky, _ := newTestTier(t, 3, 2, 16)
+	h, err := tier.Open("obj", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 96 // stripes 0..5, primaries rotate over the 3 members
+	if _, err := h.WriteAt(pattern(0, size), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Member 0 starts failing reads; every stripe it serves as primary
+	// (0 and 3) must transparently come from the replica.
+	flaky[0].fail.Store(true)
+	got := make([]byte, size)
+	n, err := h.ReadAt(got, 0)
+	if err != nil || n != size {
+		t.Fatalf("ReadAt with sick primary = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, pattern(0, size)) {
+		t.Fatal("failover readback mismatch")
+	}
+	if fo := tier.Stats().ReadFailovers; fo == 0 {
+		t.Fatal("no failovers counted")
+	}
+}
+
+func TestStripeWriteAllReplicasDown(t *testing.T) {
+	tier, flaky, _ := newTestTier(t, 2, 2, 16)
+	flaky[0].fail.Store(true)
+	flaky[1].fail.Store(true)
+	h, err := tier.Open("obj", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(pattern(0, 16), 0); !errors.Is(err, core.EIO) {
+		t.Fatalf("write with all replicas down = %v, want EIO", err)
+	}
+	flaky[0].fail.Store(false)
+	flaky[1].fail.Store(false)
+	if _, err := h.WriteAt(pattern(0, 16), 0); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+	// Reads with both members sick also error once data exists.
+	flaky[0].fail.Store(true)
+	flaky[1].fail.Store(true)
+	buf := make([]byte, 16)
+	if _, err := h.ReadAt(buf, 0); !errors.Is(err, core.EIO) {
+		t.Fatalf("read with all replicas down = %v, want EIO", err)
+	}
+}
+
+// TestStaleReplicaSkipped is the corruption guard: a write that misses a
+// member queues that (stripe, member) for repair, and reads must not be
+// served from the stale replica even after the member recovers, until the
+// repair has actually run.
+func TestStaleReplicaSkipped(t *testing.T) {
+	tier, flaky, mems := newTestTier(t, 2, 2, 16)
+	h, err := tier.Open("obj", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed both replicas, then make member 1 miss an overwrite.
+	if _, err := h.WriteAt(bytes.Repeat([]byte{0xEE}, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	flaky[1].fail.Store(true)
+	want := pattern(1000, 16)
+	if _, err := h.WriteAt(want, 0); err != nil {
+		t.Fatalf("degraded write: %v", err)
+	}
+	st := tier.Stats()
+	if st.DegradedWrites == 0 || st.PendingRepairs == 0 {
+		t.Fatalf("degraded=%d pending=%d, want both > 0", st.DegradedWrites, st.PendingRepairs)
+	}
+	// Member 1 heals, but its copy of stripe 0 is stale (still 0xEE). The
+	// repair has not run yet (member 1 is under ejection/probation or the
+	// loop has not won the race); reads of stripe 0 must come from member
+	// 0 regardless.
+	flaky[1].fail.Store(false)
+	for i := 0; i < 50; i++ {
+		got := make([]byte, 16)
+		if n, err := h.ReadAt(got, 0); err != nil || n != 16 {
+			t.Fatalf("read %d = %d, %v", i, n, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("read %d returned stale replica data", i)
+		}
+	}
+	// Drive traffic until the repair drains (the health clock and probe
+	// admission are op-driven), then verify member 1's bytes were fixed.
+	deadline := time.Now().Add(10 * time.Second)
+	for tier.Stats().PendingRepairs > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("repair did not drain: %+v", tier.Stats())
+		}
+		buf := make([]byte, 16)
+		if _, err := h.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, ok := mems[1].Bytes("obj"); !ok || !bytes.Equal(got[:16], want) {
+		t.Fatalf("member 1 not repaired: ok=%v got=%x", ok, got)
+	}
+	if tier.Stats().Repairs == 0 {
+		t.Fatal("repairs counter did not move")
+	}
+}
+
+// TestStripeEjectionRepairCycle drives the full degraded-mode story at the
+// tier level: sick member ejected, writes continue degraded, member heals,
+// probes re-admit it, repair restores every missed stripe.
+func TestStripeEjectionRepairCycle(t *testing.T) {
+	tier, flaky, mems := newTestTier(t, 4, 2, 16)
+	h, err := tier.Open("obj", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky[2].fail.Store(true)
+	// Write enough stripes that member 2 sees MaxConsecutiveErrs failures
+	// and is ejected; every write must still succeed via the replica.
+	const blocks = 32
+	for i := 0; i < blocks; i++ {
+		data := pattern(int64(i)*16, 16)
+		if _, err := h.WriteAt(data, int64(i)*16); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if st := tier.MemberState(2); st != StateEjected {
+		t.Fatalf("member 2 state %v after sustained failures, want ejected", st)
+	}
+	st := tier.Stats()
+	if st.Ejections == 0 || st.DegradedWrites == 0 {
+		t.Fatalf("ejections=%d degraded=%d, want both > 0", st.Ejections, st.DegradedWrites)
+	}
+	// Heal the member; keep traffic flowing so the logical clock advances
+	// through the backoff, the probes, and the repairs.
+	flaky[2].fail.Store(false)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := tier.Stats()
+		if s.MemberStates[2] == StateHealthy && s.PendingRepairs == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("member 2 never recovered: %+v", s)
+		}
+		buf := make([]byte, 16)
+		if _, err := h.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := tier.Stats()
+	if s.Readmissions == 0 || s.Repairs == 0 {
+		t.Fatalf("readmissions=%d repairs=%d, want both > 0", s.Readmissions, s.Repairs)
+	}
+	// Every stripe member 2 replicates must now hold the written bytes at
+	// its logical offset.
+	data, ok := mems[2].Bytes("obj")
+	if !ok {
+		t.Fatal("member 2 holds no object")
+	}
+	for s := int64(0); s < blocks; s++ {
+		inChain := false
+		for _, m := range replicaChain(s, 4, 2) {
+			if m == 2 {
+				inChain = true
+			}
+		}
+		if !inChain {
+			continue
+		}
+		lo, hi := s*16, (s+1)*16
+		if int64(len(data)) < hi {
+			t.Fatalf("member 2 data ends at %d, stripe %d needs %d", len(data), s, hi)
+		}
+		if !bytes.Equal(data[lo:hi], pattern(lo, 16)) {
+			t.Fatalf("member 2 stripe %d not repaired", s)
+		}
+	}
+	// Full readback stays correct.
+	got := make([]byte, blocks*16)
+	if n, err := h.ReadAt(got, 0); err != nil || n != len(got) {
+		t.Fatalf("final readback = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, pattern(0, blocks*16)) {
+		t.Fatal("final readback mismatch")
+	}
+}
+
+func TestStripeSizeAndNegativeOffsets(t *testing.T) {
+	tier, _, _ := newTestTier(t, 2, 2, 16)
+	h, err := tier.Open("obj", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt([]byte{1}, -1); !errors.Is(err, core.EINVAL) {
+		t.Fatalf("WriteAt(-1) = %v, want EINVAL", err)
+	}
+	if _, err := h.ReadAt(make([]byte, 1), -1); !errors.Is(err, core.EINVAL) {
+		t.Fatalf("ReadAt(-1) = %v, want EINVAL", err)
+	}
+	if sz, err := h.Size(); err != nil || sz != 0 {
+		t.Fatalf("Size of empty = %d, %v", sz, err)
+	}
+}
+
+func TestStripeTierConfigValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("New with no members succeeded")
+	}
+	tier, err := New([]core.Backend{core.NewMemBackend()}, Config{Replicas: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	if tier.cfg.Replicas != 1 {
+		t.Fatalf("replicas %d, want capped to member count 1", tier.cfg.Replicas)
+	}
+	if tier.cfg.StripeSize != 64<<10 {
+		t.Fatalf("default stripe size %d, want 64 KiB", tier.cfg.StripeSize)
+	}
+}

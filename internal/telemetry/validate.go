@@ -15,6 +15,9 @@ import (
 //   - histograms end in a unit suffix: `_ns`, `_bytes`, or `_ops`
 //   - gauges carry no structural suffix but must not end in `_total`
 //     (that would read as a counter to a Prometheus consumer)
+//   - `_state` marks an enumeration gauge (a small-integer state machine
+//     position, e.g. iofwd_stripe_member_state) and is gauge-only: on a
+//     counter or histogram the suffix would misdescribe the series
 var nameRE = regexp.MustCompile(`^iofwd(_[a-z0-9]+)+$`)
 
 // histogramUnits are the accepted histogram unit suffixes.
@@ -33,7 +36,13 @@ func ValidateName(name string, kind Kind) error {
 		if !strings.HasSuffix(name, "_total") {
 			return fmt.Errorf("counter %q must end in _total", name)
 		}
+		if strings.HasSuffix(name, "_state_total") {
+			return fmt.Errorf("counter %q: _state is the enumeration-gauge suffix", name)
+		}
 	case KindHistogram:
+		if strings.HasSuffix(name, "_state") {
+			return fmt.Errorf("histogram %q: _state is the enumeration-gauge suffix", name)
+		}
 		ok := false
 		for _, u := range histogramUnits {
 			if strings.HasSuffix(name, u) {

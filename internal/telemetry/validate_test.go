@@ -14,11 +14,15 @@ func TestValidateName(t *testing.T) {
 		{"iofwd_worker_batch_ops", KindHistogram, true},
 		{"iofwd_queue_depth", KindGauge, true},
 		{"iofwd_bml_peak_bytes", KindGauge, true},
+		{"iofwd_stripe_member_state", KindGauge, true}, // enumeration gauge
 
 		{"requests_total", KindCounter, false},            // missing prefix
 		{"iofwd_requests", KindCounter, false},            // counter without _total
 		{"iofwd_worker_batch_size", KindHistogram, false}, // histogram without unit
 		{"iofwd_shed_total", KindGauge, false},            // gauge posing as counter
+		{"iofwd_member_state_total", KindCounter, false},  // _state is gauge-only
+		{"iofwd_member_state", KindHistogram, false},      // _state is gauge-only (and no unit)
+		{"iofwd_member_state_ops", KindHistogram, true},   // _state mid-name is fine
 		{"iofwd_BadCase_total", KindCounter, false},       // not snake_case
 		{"iofwd__double_total", KindCounter, false},       // empty segment
 		{"iofwd_", KindCounter, false},
