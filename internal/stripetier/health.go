@@ -119,6 +119,11 @@ type memberHealth struct {
 	backoff  int64
 	probeOK  int
 	probing  bool
+	// probeSeq numbers granted probe slots. record only treats a result as
+	// the probe's when its token matches, so stragglers — results of ops
+	// admitted earlier, while the member was still healthy — can neither
+	// release the probe slot nor re-eject a half-open member.
+	probeSeq uint64
 }
 
 // health tracks every member's state on a shared logical clock.
@@ -151,14 +156,15 @@ func (h *health) state(m int) State {
 }
 
 // allowed reports whether an operation may be routed to member m right
-// now. A true return must be paired with exactly one record call for the
-// op's result: half-open members admit a single in-flight probe, and the
-// probe slot is only released by record.
-func (h *health) allowed(m int) bool {
+// now, plus a probe token: nonzero when this call was granted the member's
+// single half-open probe slot. A true return must be paired with exactly
+// one record call carrying the same token — the probe slot is only
+// released by the probe's own result, never by a straggling result of an
+// op admitted earlier (while the member was still healthy).
+func (h *health) allowed(m int) (ok bool, probe uint64) {
 	mh := &h.members[m]
 	mh.mu.Lock()
 	var tr transition
-	var ok bool
 	switch mh.state {
 	case StateHealthy:
 		ok = true
@@ -167,12 +173,16 @@ func (h *health) allowed(m int) bool {
 			mh.state = StateHalfOpen
 			mh.probeOK = 0
 			mh.probing = true
+			mh.probeSeq++
+			probe = mh.probeSeq
 			tr = transHalfOpen
 			ok = true
 		}
 	case StateHalfOpen:
 		if !mh.probing {
 			mh.probing = true
+			mh.probeSeq++
+			probe = mh.probeSeq
 			ok = true
 		}
 	}
@@ -180,17 +190,24 @@ func (h *health) allowed(m int) bool {
 	if tr != transNone && h.onTransition != nil {
 		h.onTransition(m, StateHalfOpen, tr)
 	}
-	return ok
+	return ok, probe
 }
 
 // record feeds one observed operation result for member m into the state
-// machine and advances the logical clock. It returns the transition the
-// result caused, if any.
-func (h *health) record(m int, opOK bool) transition {
+// machine and advances the logical clock. probe is the token allowed
+// returned for this op (zero for ops admitted outside a probe slot). It
+// returns the transition the result caused, if any.
+func (h *health) record(m int, opOK bool, probe uint64) transition {
 	h.tick.Add(1)
 	mh := &h.members[m]
 	mh.mu.Lock()
-	mh.probing = false
+	// Only the outstanding probe's own result drives the half-open state:
+	// stragglers update the window but cannot release the probe slot,
+	// count toward probe successes, or re-eject the member.
+	isProbe := probe != 0 && mh.probing && probe == mh.probeSeq
+	if isProbe {
+		mh.probing = false
+	}
 	// Slide the window.
 	if mh.winLen == len(mh.window) {
 		if mh.window[mh.winIdx] {
@@ -209,7 +226,7 @@ func (h *health) record(m int, opOK bool) transition {
 	var newState State
 	if opOK {
 		mh.consec = 0
-		if mh.state == StateHalfOpen {
+		if mh.state == StateHalfOpen && isProbe {
 			mh.probeOK++
 			if mh.probeOK >= h.cfg.ProbeSuccesses {
 				mh.state = StateHealthy
@@ -223,8 +240,12 @@ func (h *health) record(m int, opOK bool) transition {
 		switch mh.state {
 		case StateHalfOpen:
 			// A failed probe re-ejects immediately with a doubled backoff.
-			h.ejectLocked(mh)
-			tr, newState = transEjected, StateEjected
+			// A straggler failure is not the probe failing: leave the probe
+			// in flight and let its own result decide.
+			if isProbe {
+				h.ejectLocked(mh)
+				tr, newState = transEjected, StateEjected
+			}
 		case StateHealthy:
 			rateTripped := mh.winLen >= h.cfg.MinWindowSamples &&
 				float64(mh.winErrs) >= h.cfg.MaxErrorRate*float64(mh.winLen)

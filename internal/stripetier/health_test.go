@@ -15,25 +15,44 @@ func testHealthCfg() HealthConfig {
 	}
 }
 
+// op routes one result through the allowed/record pair, threading the
+// probe token like the tier does.
+func (h *health) op(m int, ok bool) transition {
+	allowed, probe := h.allowed(m)
+	if !allowed {
+		return transNone
+	}
+	return h.record(m, ok, probe)
+}
+
+// admit reports whether member m accepts an op right now. Use it only
+// where refusal is expected: a true return takes (and leaks) the probe
+// slot, since the token is dropped.
+func (h *health) admit(t *testing.T, m int) bool {
+	t.Helper()
+	ok, _ := h.allowed(m)
+	return ok
+}
+
 func TestHealthConsecutiveEjection(t *testing.T) {
 	h := newHealth(2, testHealthCfg())
 	for i := 0; i < 2; i++ {
-		if !h.allowed(0) {
+		ok, probe := h.allowed(0)
+		if !ok {
 			t.Fatalf("op %d: healthy member refused", i)
 		}
-		h.record(0, false)
+		h.record(0, false, probe)
 		if h.state(0) != StateHealthy {
 			t.Fatalf("ejected after %d errors, threshold is 3", i+1)
 		}
 	}
-	h.allowed(0)
-	if tr := h.record(0, false); tr != transEjected {
+	if tr := h.op(0, false); tr != transEjected {
 		t.Fatalf("third consecutive error: transition %v, want eject", tr)
 	}
 	if h.state(0) != StateEjected {
 		t.Fatalf("state %v, want ejected", h.state(0))
 	}
-	if h.allowed(0) {
+	if h.admit(t, 0) {
 		t.Fatal("ejected member still receives traffic")
 	}
 }
@@ -49,8 +68,7 @@ func TestHealthRateEjection(t *testing.T) {
 			ejected = true
 			break
 		}
-		h.allowed(0)
-		if h.record(0, ok) == transEjected {
+		if h.op(0, ok) == transEjected {
 			ejected = true
 			break
 		}
@@ -63,10 +81,8 @@ func TestHealthRateEjection(t *testing.T) {
 func TestHealthRateNeedsMinSamples(t *testing.T) {
 	h := newHealth(1, testHealthCfg())
 	// Two results, one error = 50% rate, but below MinWindowSamples.
-	h.allowed(0)
-	h.record(0, true)
-	h.allowed(0)
-	h.record(0, false)
+	h.op(0, true)
+	h.op(0, false)
 	if h.state(0) != StateHealthy {
 		t.Fatal("rate trip fired below the minimum sample count")
 	}
@@ -75,35 +91,38 @@ func TestHealthRateNeedsMinSamples(t *testing.T) {
 func TestHealthProbeRecovery(t *testing.T) {
 	h := newHealth(2, testHealthCfg())
 	for i := 0; i < 3; i++ {
-		h.allowed(0)
-		h.record(0, false)
+		h.op(0, false)
 	}
 	if h.state(0) != StateEjected {
 		t.Fatal("not ejected")
 	}
 	// Advance the logical clock with traffic on the sibling; backoff is 4.
 	for i := 0; i < 4; i++ {
-		if h.allowed(0) {
+		if h.admit(t, 0) {
 			t.Fatalf("probe admitted after only %d ticks (backoff 4)", i)
 		}
-		h.allowed(1)
-		h.record(1, true)
+		h.op(1, true)
 	}
-	if !h.allowed(0) {
+	ok, probe := h.allowed(0)
+	if !ok {
 		t.Fatal("backoff elapsed but member not half-open")
+	}
+	if probe == 0 {
+		t.Fatal("half-open admission carried no probe token")
 	}
 	if h.state(0) != StateHalfOpen {
 		t.Fatalf("state %v, want half-open", h.state(0))
 	}
 	// Only one probe in flight at a time.
-	if h.allowed(0) {
+	if h.admit(t, 0) {
 		t.Fatal("second concurrent probe admitted")
 	}
-	h.record(0, true)
-	if !h.allowed(0) {
+	h.record(0, true, probe)
+	ok, probe = h.allowed(0)
+	if !ok {
 		t.Fatal("second probe refused after first succeeded")
 	}
-	if tr := h.record(0, true); tr != transReadmitted {
+	if tr := h.record(0, true, probe); tr != transReadmitted {
 		t.Fatalf("after 2 probe successes: transition %v, want readmit", tr)
 	}
 	if h.state(0) != StateHealthy {
@@ -114,37 +133,34 @@ func TestHealthProbeRecovery(t *testing.T) {
 func TestHealthProbeFailureDoublesBackoff(t *testing.T) {
 	h := newHealth(2, testHealthCfg())
 	for i := 0; i < 3; i++ {
-		h.allowed(0)
-		h.record(0, false)
+		h.op(0, false)
 	}
 	// First backoff: 4 ticks.
 	for i := 0; i < 4; i++ {
-		h.allowed(1)
-		h.record(1, true)
+		h.op(1, true)
 	}
-	if !h.allowed(0) {
+	ok, probe := h.allowed(0)
+	if !ok {
 		t.Fatal("probe not admitted after first backoff")
 	}
-	h.record(0, false) // failed probe: re-eject with doubled backoff (8)
+	h.record(0, false, probe) // failed probe: re-eject with doubled backoff (8)
 	if h.state(0) != StateEjected {
 		t.Fatal("failed probe did not re-eject")
 	}
 	for i := 0; i < 7; i++ {
-		if h.allowed(0) {
+		if h.admit(t, 0) {
 			t.Fatalf("probe admitted after %d ticks, doubled backoff is 8", i)
 		}
-		h.allowed(1)
-		h.record(1, true)
+		h.op(1, true)
 	}
-	h.allowed(1)
-	h.record(1, true)
-	if !h.allowed(0) {
+	h.op(1, true)
+	ok, probe = h.allowed(0)
+	if !ok {
 		t.Fatal("probe not admitted after doubled backoff")
 	}
 	// Successful recovery resets the backoff to the base value.
-	h.record(0, true)
-	h.allowed(0)
-	h.record(0, true)
+	h.record(0, true, probe)
+	h.op(0, true)
 	if h.state(0) != StateHealthy {
 		t.Fatal("not readmitted")
 	}
@@ -154,21 +170,67 @@ func TestHealthProbeFailureDoublesBackoff(t *testing.T) {
 	}
 }
 
+// TestHealthProbeStragglerIgnored pins the straggler rule: a result for an
+// op admitted while the member was still healthy can arrive during
+// half-open, and it must neither release the single probe slot nor
+// re-eject the member — only the probe's own result may.
+func TestHealthProbeStragglerIgnored(t *testing.T) {
+	h := newHealth(2, testHealthCfg())
+	// Admit an op while healthy (token 0) but hold its result: the
+	// straggler in flight.
+	ok, stragglerTok := h.allowed(0)
+	if !ok || stragglerTok != 0 {
+		t.Fatalf("healthy admission = %v token %d, want true, 0", ok, stragglerTok)
+	}
+	// Eject the member, run out the backoff, and take the probe slot.
+	for i := 0; i < 3; i++ {
+		h.op(0, false)
+	}
+	for i := 0; i < 4; i++ {
+		h.op(1, true)
+	}
+	ok, probe := h.allowed(0)
+	if !ok || probe == 0 {
+		t.Fatalf("probe admission = %v token %d, want true, nonzero", ok, probe)
+	}
+	// The straggler fails while the probe is in flight: the member must
+	// stay half-open (no re-eject) and the probe slot must stay taken.
+	if tr := h.record(0, false, stragglerTok); tr != transNone {
+		t.Fatalf("straggler failure caused transition %v", tr)
+	}
+	if h.state(0) != StateHalfOpen {
+		t.Fatalf("state %v after straggler failure, want half-open", h.state(0))
+	}
+	if h.admit(t, 0) {
+		t.Fatal("straggler released the probe slot")
+	}
+	// The probe's own success counts toward readmission as usual.
+	h.record(0, true, probe)
+	ok, probe = h.allowed(0)
+	if !ok {
+		t.Fatal("second probe refused after first succeeded")
+	}
+	// A stale token from an already-settled probe is a straggler too.
+	if tr := h.record(0, true, probe-1); tr != transNone {
+		t.Fatalf("stale probe token caused transition %v", tr)
+	}
+	if tr := h.record(0, true, probe); tr != transReadmitted {
+		t.Fatalf("probe success: transition %v, want readmit", tr)
+	}
+}
+
 func TestHealthTransitionCallback(t *testing.T) {
 	h := newHealth(1, testHealthCfg())
 	var events []transition
 	h.onTransition = func(m int, s State, tr transition) { events = append(events, tr) }
 	for i := 0; i < 3; i++ {
-		h.allowed(0)
-		h.record(0, false)
+		h.op(0, false)
 	}
 	for i := 0; i < 4; i++ {
 		h.tick.Add(1) // no sibling: advance the clock directly
 	}
-	h.allowed(0)
-	h.record(0, true)
-	h.allowed(0)
-	h.record(0, true)
+	h.op(0, true)
+	h.op(0, true)
 	want := []transition{transEjected, transHalfOpen, transReadmitted}
 	if len(events) != len(want) {
 		t.Fatalf("events %v, want %v", events, want)

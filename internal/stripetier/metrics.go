@@ -69,17 +69,18 @@ func (t *Tier) Register(reg *telemetry.Registry) {
 }
 
 // recordOp updates the per-member op counters and feeds the health
-// tracker; transitions update the state gauge, the transition counters,
-// and kick the repair loop on readmission (newly healthy members can now
-// accept their queued repairs).
-func (t *Tier) recordOp(m int, err error) {
+// tracker; probe is the token the paired allowed call returned.
+// Transitions update the state gauge, the transition counters, and kick
+// the repair loop on readmission (newly healthy members can now accept
+// their queued repairs).
+func (t *Tier) recordOp(m int, probe uint64, err error) {
 	ok := err == nil
 	if ok {
 		t.metrics.memberOpsOK[m].Inc()
 	} else {
 		t.metrics.memberOpsErr[m].Inc()
 	}
-	t.health.record(m, ok)
+	t.health.record(m, ok, probe)
 }
 
 // onTransition is the health tracker's callback (set in New).

@@ -26,11 +26,18 @@ type repairKey struct {
 // The pending set also serves reads: a replica queued for repair is stale
 // (it would return zeros, not data), so the read path skips it — see
 // tierHandle.ReadAt.
+//
+// Each entry carries a version, bumped on every enqueue and on every
+// client write that is about to land on the member (touch). A repair only
+// deletes its entry when the version is unchanged across the whole
+// copy — otherwise a client write racing with the repair could be
+// overwritten by the repair's older survivor snapshot and the member
+// still be marked clean (split-brain between replicas).
 type repairer struct {
 	t *Tier
 
 	mu      sync.Mutex
-	pending map[repairKey]struct{}
+	pending map[repairKey]uint64
 	closed  bool
 
 	// kick wakes the loop; buffered so enqueue never blocks.
@@ -41,20 +48,44 @@ type repairer struct {
 func newRepairer(t *Tier) *repairer {
 	return &repairer{
 		t:       t,
-		pending: make(map[repairKey]struct{}),
+		pending: make(map[repairKey]uint64),
 		kick:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
 }
 
-// enqueue records a missing replica and wakes the loop.
+// enqueue records a missing replica (bumping its version if already
+// queued) and wakes the loop.
 func (r *repairer) enqueue(name string, stripe int64, member int) {
 	r.mu.Lock()
 	if !r.closed {
-		r.pending[repairKey{name, stripe, member}] = struct{}{}
+		r.pending[repairKey{name, stripe, member}]++
 	}
 	r.mu.Unlock()
 	r.kickNow()
+}
+
+// touch bumps the version of member's pending entry, if one exists. The
+// write path calls it immediately before writing stripe data to the
+// member: an in-flight repair that read its survivor snapshot before this
+// write must observe the bump and keep the entry queued (re-copying the
+// now-fresh survivor on the next pass) instead of marking the member
+// clean under the repair's stale bytes.
+func (r *repairer) touch(name string, stripe int64, member int) {
+	key := repairKey{name, stripe, member}
+	r.mu.Lock()
+	if _, ok := r.pending[key]; ok {
+		r.pending[key]++
+	}
+	r.mu.Unlock()
+}
+
+// version returns the pending entry's current version, if queued.
+func (r *repairer) version(k repairKey) (uint64, bool) {
+	r.mu.Lock()
+	v, ok := r.pending[k]
+	r.mu.Unlock()
+	return v, ok
 }
 
 // isPending reports whether member's copy of stripe is queued for repair
@@ -125,23 +156,26 @@ func (r *repairer) loop() {
 			return a.member < b.member
 		})
 		for _, k := range keys {
-			if r.repairOne(k) {
-				r.mu.Lock()
-				delete(r.pending, k)
-				r.mu.Unlock()
-				r.t.metrics.repairs.Inc()
-			}
+			r.repairOne(k)
 		}
 	}
 }
 
-// repairOne copies stripe k.stripe from a surviving replica onto k.member.
-// It returns true when the replica is whole again (including the case
-// where no surviving replica holds any data — nothing to copy).
-func (r *repairer) repairOne(k repairKey) bool {
+// repairOne copies stripe k.stripe from a surviving replica onto k.member
+// and, when the copy lands without a client write racing it (pending
+// version unchanged end to end), removes the entry from the pending set.
+func (r *repairer) repairOne(k repairKey) {
 	t := r.t
-	if !t.health.allowed(k.member) {
-		return false
+	// Capture the entry's version before reading the survivor: a client
+	// write bumps it (touch/enqueue) before touching the member's bytes,
+	// so an unchanged version below proves the snapshot is still current.
+	startVer, live := r.version(k)
+	if !live {
+		return
+	}
+	ok, probe := t.health.allowed(k.member)
+	if !ok {
+		return
 	}
 	// The member accepted the probe slot: from here every outcome must be
 	// recorded exactly once.
@@ -150,50 +184,87 @@ func (r *repairer) repairOne(k repairKey) bool {
 		// No surviving replica is readable right now; release the probe
 		// slot with a neutral success (the target member did nothing
 		// wrong) and keep the entry queued.
-		t.recordOp(k.member, nil)
+		t.recordOp(k.member, probe, nil)
 		t.metrics.repairErrs.Inc()
-		return false
+		return
 	}
 	if n == 0 {
 		// The stripe was never durably written anywhere (the write that
 		// enqueued this entry failed everywhere, or it is beyond EOF).
 		// There is nothing to copy and nothing missing.
-		t.recordOp(k.member, nil)
-		return true
+		t.recordOp(k.member, probe, nil)
+	} else {
+		h, err := t.members[k.member].Open(k.name, true)
+		if err != nil {
+			t.recordOp(k.member, probe, err)
+			t.metrics.repairErrs.Inc()
+			return
+		}
+		defer h.Close()
+		wn, err := h.WriteAt(data[:n], k.stripe*t.cfg.StripeSize)
+		if err == nil && wn < n {
+			err = fmt.Errorf("%w: short repair write (%d of %d bytes)", core.EIO, wn, n)
+		}
+		t.recordOp(k.member, probe, err)
+		if err != nil {
+			t.metrics.repairErrs.Inc()
+			return
+		}
 	}
-	h, err := t.members[k.member].Open(k.name, true)
-	if err != nil {
-		t.recordOp(k.member, err)
-		t.metrics.repairErrs.Inc()
-		return false
+	// Mark the member clean only if no client write raced the copy.
+	r.mu.Lock()
+	if cur, queued := r.pending[k]; queued && cur == startVer {
+		delete(r.pending, k)
+		r.mu.Unlock()
+		t.metrics.repairs.Inc()
+		return
 	}
-	defer h.Close()
-	wn, err := h.WriteAt(data[:n], k.stripe*t.cfg.StripeSize)
-	if err == nil && wn < n {
-		err = fmt.Errorf("%w: short repair write (%d of %d bytes)", core.EIO, wn, n)
-	}
-	t.recordOp(k.member, err)
-	if err != nil {
-		t.metrics.repairErrs.Inc()
-		return false
-	}
-	return true
+	r.mu.Unlock()
+	// The version moved: the stripe changed under the repair, so the copy
+	// may hold stale bytes. Keep the entry and retry promptly with a fresh
+	// survivor snapshot.
+	r.kickNow()
 }
 
 // readSurvivor reads stripe k.stripe from the first healthy, non-stale
 // replica. It reports ok=false when no survivor could be read. When every
 // reachable survivor reports ENOENT the stripe was never durably written
 // anywhere, which readSurvivor reports as (nil, 0, true): whole by vacancy.
+//
+// When every other chain member is itself queued for repair, no fresh copy
+// of the stripe exists anywhere (e.g. a write failed on all replicas
+// during an outage); readSurvivor then falls back to the stale replicas so
+// the set converges on one copy and drains, instead of deadlocking with
+// the stripe unreadable forever. A member with no other chain members at
+// all (replication factor 1) is whole by definition: its own bytes are the
+// only copy there is.
 func (r *repairer) readSurvivor(k repairKey) (data []byte, n int, ok bool) {
 	t := r.t
+	fresh := make([]int, 0, t.cfg.Replicas)
+	stale := make([]int, 0, t.cfg.Replicas)
+	for _, m := range replicaChain(k.stripe, len(t.members), t.cfg.Replicas) {
+		if m == k.member {
+			continue
+		}
+		if r.isPending(k.name, k.stripe, m) {
+			stale = append(stale, m)
+		} else {
+			fresh = append(fresh, m)
+		}
+	}
+	candidates := fresh
+	if len(fresh) == 0 {
+		if len(stale) == 0 {
+			return nil, 0, true
+		}
+		candidates = stale
+	}
 	buf := make([]byte, t.cfg.StripeSize)
 	off := k.stripe * t.cfg.StripeSize
 	attempted, notFound := 0, 0
-	for _, m := range replicaChain(k.stripe, len(t.members), t.cfg.Replicas) {
-		if m == k.member || r.isPending(k.name, k.stripe, m) {
-			continue
-		}
-		if !t.health.allowed(m) {
+	for _, m := range candidates {
+		ok, probe := t.health.allowed(m)
+		if !ok {
 			continue
 		}
 		attempted++
@@ -201,7 +272,7 @@ func (r *repairer) readSurvivor(k repairKey) (data []byte, n int, ok bool) {
 		if err != nil {
 			// ENOENT means this member legitimately holds no data for the
 			// object (a healthy answer, not an I/O failure).
-			t.recordOp(m, ignoreNotFound(err))
+			t.recordOp(m, probe, ignoreNotFound(err))
 			if isNotFound(err) {
 				notFound++
 			}
@@ -209,7 +280,7 @@ func (r *repairer) readSurvivor(k repairKey) (data []byte, n int, ok bool) {
 		}
 		rn, err := h.ReadAt(buf, off)
 		_ = h.Close()
-		t.recordOp(m, err)
+		t.recordOp(m, probe, err)
 		if err != nil {
 			continue
 		}

@@ -115,11 +115,12 @@ func (t *Tier) Open(name string, create bool) (core.Handle, error) {
 	var lastErr error
 	found := false
 	for m := range t.members {
-		if !t.health.allowed(m) {
+		ok, probe := t.health.allowed(m)
+		if !ok {
 			continue
 		}
 		mh, err := t.members[m].Open(name, false)
-		t.recordOp(m, ignoreNotFound(err))
+		t.recordOp(m, probe, ignoreNotFound(err))
 		if err != nil {
 			if !isNotFound(err) {
 				lastErr = err
@@ -192,12 +193,19 @@ func (h *tierHandle) WriteAt(b []byte, off int64) (int, error) {
 		chain := replicaChain(sp.stripe, len(t.members), t.cfg.Replicas)
 		okCount := 0
 		for _, m := range chain {
-			if !t.health.allowed(m) {
+			ok, probe := t.health.allowed(m)
+			if !ok {
 				t.repair.enqueue(h.name, sp.stripe, m)
 				continue
 			}
 			mh, err := h.member(m, true)
 			if err == nil {
+				// Bump the member's pending version (if queued for repair)
+				// before the bytes land: an in-flight repair holding an
+				// older survivor snapshot must see the bump and keep the
+				// entry, instead of overwriting this write and marking the
+				// member clean — see repairer.touch.
+				t.repair.touch(h.name, sp.stripe, m)
 				piece := b[sp.bufLo:sp.bufHi]
 				var n int
 				n, err = mh.WriteAt(piece, sp.off)
@@ -205,7 +213,7 @@ func (h *tierHandle) WriteAt(b []byte, off int64) (int, error) {
 					err = fmt.Errorf("%w: short replica write (%d of %d bytes)", core.EIO, n, len(piece))
 				}
 			}
-			t.recordOp(m, err)
+			t.recordOp(m, probe, err)
 			if err != nil {
 				t.repair.enqueue(h.name, sp.stripe, m)
 				continue
@@ -229,15 +237,19 @@ func (h *tierHandle) WriteAt(b []byte, off int64) (int, error) {
 // ReadAt recombines b from the stripes holding [off, off+len(b)). Each
 // piece is served by the first replica in chain order that is healthy,
 // not stale (queued for repair), and actually returns the data; failing
-// or skipped replicas fail the read over to the next one. A piece shorter
-// than requested ends the read (EOF semantics, matching the single-target
-// backends).
+// or skipped replicas fail the read over to the next one. A stripe whose
+// chain holds less data than requested is checked against the logical
+// object size: below it the gap is a hole (chain members of a sparse
+// object that never received a write) and reads as zeros, at or past it
+// the read ends short with a nil error — exactly the single-target
+// backends' sparse semantics.
 func (h *tierHandle) ReadAt(b []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, core.EINVAL
 	}
 	t := h.t
 	total := 0
+	logSize := int64(-1) // lazily computed, at most once per call
 	for _, sp := range spans(off, len(b), t.cfg.StripeSize) {
 		chain := replicaChain(sp.stripe, len(t.members), t.cfg.Replicas)
 		got := -1
@@ -247,18 +259,22 @@ func (h *tierHandle) ReadAt(b []byte, off int64) (int, error) {
 		for _, m := range chain {
 			// The staleness check comes before the health gate: allowed()
 			// hands out the half-open probe slot, which must not be taken
-			// for a replica we would skip anyway.
+			// for a replica we would skip anyway. Skipping a stale replica
+			// also kicks the repair loop: read-only traffic must be able
+			// to drain the pending set too.
 			if t.repair.isPending(h.name, sp.stripe, m) {
 				skipped++
+				t.repair.kickNow()
 				continue
 			}
-			if !t.health.allowed(m) {
+			ok, probe := t.health.allowed(m)
+			if !ok {
 				skipped++
 				continue
 			}
 			mh, err := h.member(m, false)
 			if err != nil {
-				t.recordOp(m, ignoreNotFound(err))
+				t.recordOp(m, probe, ignoreNotFound(err))
 				if isNotFound(err) {
 					sawEmpty = true
 				} else {
@@ -268,7 +284,7 @@ func (h *tierHandle) ReadAt(b []byte, off int64) (int, error) {
 				continue
 			}
 			n, err := mh.ReadAt(b[sp.bufLo:sp.bufHi], sp.off)
-			t.recordOp(m, err)
+			t.recordOp(m, probe, err)
 			if err != nil {
 				lastErr = err
 				skipped++
@@ -278,19 +294,46 @@ func (h *tierHandle) ReadAt(b []byte, off int64) (int, error) {
 			break
 		}
 		if got < 0 {
-			if sawEmpty {
-				// Every reachable replica reports the object absent: the
-				// range was never written — EOF, not an error.
-				return total, nil
+			if lastErr != nil || !sawEmpty {
+				// A replica that failed (or was skipped wholesale) may hold
+				// the data: this is an I/O failure, not absence.
+				return total, fmt.Errorf("%w: stripe %d: no replica readable: %v", core.EIO, sp.stripe, lastErr)
 			}
-			return total, fmt.Errorf("%w: stripe %d: no replica readable: %v", core.EIO, sp.stripe, lastErr)
-		}
-		if skipped > 0 {
+			// Every reachable chain member reports the object absent. With
+			// more members than replicas this can be a hole stripe of a
+			// sparse object whose later stripes hold data — fall through to
+			// the size check with zero bytes read rather than ending early.
+			got = 0
+		} else if skipped > 0 {
 			t.metrics.readFailovers.Inc()
 		}
 		total += got
-		if got < sp.bufHi-sp.bufLo {
-			return total, nil
+		if want := sp.bufHi - sp.bufLo; got < want {
+			if logSize < 0 {
+				sz, err := h.Size()
+				if err != nil {
+					return total, err
+				}
+				logSize = sz
+			}
+			readEnd := sp.off + int64(got)
+			if readEnd >= logSize {
+				return total, nil
+			}
+			// Hole: zero-fill up to the logical size (or the span end) and
+			// keep going.
+			fillEnd := sp.off + int64(want)
+			if logSize < fillEnd {
+				fillEnd = logSize
+			}
+			hole := b[sp.bufLo+got : sp.bufLo+int(fillEnd-sp.off)]
+			for i := range hole {
+				hole[i] = 0
+			}
+			total += len(hole)
+			if fillEnd < sp.off+int64(want) {
+				return total, nil
+			}
 		}
 	}
 	return total, nil
@@ -312,14 +355,15 @@ func (h *tierHandle) Sync() error {
 	attempts, failures := 0, 0
 	var firstErr error
 	for _, m := range open {
-		if !t.health.allowed(m) {
+		ok, probe := t.health.allowed(m)
+		if !ok {
 			continue
 		}
 		mh, err := h.member(m, false)
 		if err == nil {
 			err = mh.Sync()
 		}
-		t.recordOp(m, err)
+		t.recordOp(m, probe, err)
 		attempts++
 		if err != nil {
 			failures++
@@ -327,6 +371,11 @@ func (h *tierHandle) Sync() error {
 				firstErr = err
 			}
 		}
+	}
+	if len(open) > 0 && attempts == 0 {
+		// Data went through member handles but no member would take a sync:
+		// acknowledging durability here would be a lie.
+		return fmt.Errorf("%w: no member reachable to sync (%d member handles open)", core.EIO, len(open))
 	}
 	if failures > 0 && (failures >= t.cfg.Replicas || failures == attempts) {
 		return fmt.Errorf("%w: %d of %d member syncs failed: %v", core.EIO, failures, attempts, firstErr)
@@ -342,12 +391,13 @@ func (h *tierHandle) Size() (int64, error) {
 	best := int64(-1)
 	var lastErr error
 	for m := range t.members {
-		if !t.health.allowed(m) {
+		ok, probe := t.health.allowed(m)
+		if !ok {
 			continue
 		}
 		mh, err := h.member(m, false)
 		if err != nil {
-			t.recordOp(m, ignoreNotFound(err))
+			t.recordOp(m, probe, ignoreNotFound(err))
 			if isNotFound(err) && best < 0 {
 				best = 0
 			} else if !isNotFound(err) {
@@ -356,7 +406,7 @@ func (h *tierHandle) Size() (int64, error) {
 			continue
 		}
 		sz, err := mh.Size()
-		t.recordOp(m, err)
+		t.recordOp(m, probe, err)
 		if err != nil {
 			lastErr = err
 			continue

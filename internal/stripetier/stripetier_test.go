@@ -374,6 +374,175 @@ func TestStripeEjectionRepairCycle(t *testing.T) {
 	}
 }
 
+// TestStripeAllReplicasPendingDrains covers the all-replicas-pending
+// deadlock: a write that fails on every replica (brief outage) queues all
+// of them for repair, leaving no fresh copy anywhere. Once the outage
+// clears, the pending set must converge on one surviving copy and drain —
+// read traffic alone must be enough to drive it — instead of the stripe
+// staying EIO forever.
+func TestStripeAllReplicasPendingDrains(t *testing.T) {
+	tier, flaky, _ := newTestTier(t, 2, 2, 16)
+	h, err := tier.Open("obj", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pattern(0, 16)
+	if _, err := h.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Outage: the overwrite fails on both replicas; the client sees the
+	// error, and both members are queued as stale.
+	flaky[0].fail.Store(true)
+	flaky[1].fail.Store(true)
+	if _, err := h.WriteAt(bytes.Repeat([]byte{0xAA}, 16), 0); !errors.Is(err, core.EIO) {
+		t.Fatalf("write during outage = %v, want EIO", err)
+	}
+	if tier.Stats().PendingRepairs != 2 {
+		t.Fatalf("pending=%d after all-replica failure, want 2", tier.Stats().PendingRepairs)
+	}
+	flaky[0].fail.Store(false)
+	flaky[1].fail.Store(false)
+	// Only reads from here on: they must kick the repair loop until the
+	// set drains and then serve the last acknowledged bytes.
+	deadline := time.Now().Add(10 * time.Second)
+	got := make([]byte, 16)
+	for {
+		n, err := h.ReadAt(got, 0)
+		if err == nil && n == 16 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stripe never became readable again: n=%d err=%v stats=%+v", n, err, tier.Stats())
+		}
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-drain read = %x, want last acknowledged write %x", got, want)
+	}
+	for tier.Stats().PendingRepairs > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending set did not drain: %+v", tier.Stats())
+		}
+		if _, err := h.ReadAt(got, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStripeSparseHoleRead covers hole stripes: with more members than
+// replicas, a sparse object can have a stripe whose chain members never
+// received the object while later stripes hold data. Reads must zero-fill
+// the hole and continue — matching single-backend sparse semantics — not
+// end early at the hole.
+func TestStripeSparseHoleRead(t *testing.T) {
+	tier, _, _ := newTestTier(t, 4, 2, 16)
+	h, err := tier.Open("obj", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only stripe 2 is written: its chain is members [2,3], so members 0
+	// and 1 (stripe 0's whole chain) never see the object.
+	data := pattern(32, 16)
+	if _, err := h.WriteAt(data, 32); err != nil {
+		t.Fatal(err)
+	}
+	want := append(make([]byte, 32), data...)
+	// A fresh read handle exercises the all-ENOENT path (members 0 and 1
+	// hold no object at all).
+	h2, err := tier.Open("obj", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 48)
+	if n, err := h2.ReadAt(got, 0); err != nil || n != 48 {
+		t.Fatalf("fresh handle ReadAt = %d, %v, want 48, nil", n, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("fresh handle: hole not zero-filled")
+	}
+	// The writing handle exercises the short-read path (its lazy opens
+	// create empty member objects).
+	got = make([]byte, 48)
+	if n, err := h.ReadAt(got, 0); err != nil || n != 48 {
+		t.Fatalf("create handle ReadAt = %d, %v, want 48, nil", n, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("create handle: hole not zero-filled")
+	}
+	// Reads at and past the logical size still end short with nil error.
+	if n, err := h2.ReadAt(make([]byte, 16), 48); err != nil || n != 0 {
+		t.Fatalf("ReadAt past EOF = %d, %v, want 0, nil", n, err)
+	}
+	if n, err := h2.ReadAt(make([]byte, 32), 40); err != nil || n != 8 {
+		t.Fatalf("ReadAt across EOF = %d, %v, want 8, nil", n, err)
+	}
+}
+
+// TestStripeSyncUnreachable pins Sync's degraded answer: with data written
+// through member handles but every member ejected, Sync must not
+// acknowledge durability it never attempted.
+func TestStripeSyncUnreachable(t *testing.T) {
+	tier, flaky, _ := newTestTier(t, 2, 2, 16)
+	h, err := tier.Open("obj", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(pattern(0, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Eject both members (MaxConsecutiveErrs failing writes each).
+	flaky[0].fail.Store(true)
+	flaky[1].fail.Store(true)
+	for i := 0; i < 3; i++ {
+		if _, err := h.WriteAt(pattern(0, 16), 0); !errors.Is(err, core.EIO) {
+			t.Fatalf("write %d during outage = %v, want EIO", i, err)
+		}
+	}
+	if tier.MemberState(0) != StateEjected || tier.MemberState(1) != StateEjected {
+		t.Fatalf("states %v/%v, want both ejected", tier.MemberState(0), tier.MemberState(1))
+	}
+	if err := h.Sync(); !errors.Is(err, core.EIO) {
+		t.Fatalf("Sync with no member reachable = %v, want EIO", err)
+	}
+	// A handle that never wrote anything has nothing to make durable.
+	h2, err := tier.Open("empty", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.Sync(); err != nil {
+		t.Fatalf("Sync of never-written handle = %v, want nil", err)
+	}
+}
+
+// TestRepairVersioning pins the pending-entry version mechanics that close
+// the repair/write TOCTOU: enqueue and touch bump the version of a queued
+// entry, touch never creates one, and a repair only deletes an entry whose
+// version it saw unchanged.
+func TestRepairVersioning(t *testing.T) {
+	tier, _, _ := newTestTier(t, 2, 2, 16)
+	r := tier.repair
+	k := repairKey{"o", 0, 1}
+	r.enqueue("o", 0, 1)
+	v1, ok := r.version(k)
+	if !ok || v1 == 0 {
+		t.Fatalf("version after enqueue = %d, %v", v1, ok)
+	}
+	r.touch("o", 0, 1)
+	v2, ok := r.version(k)
+	if !ok || v2 <= v1 {
+		t.Fatalf("touch did not bump version: %d -> %d", v1, v2)
+	}
+	r.enqueue("o", 0, 1)
+	v3, ok := r.version(k)
+	if !ok || v3 <= v2 {
+		t.Fatalf("re-enqueue did not bump version: %d -> %d", v2, v3)
+	}
+	// touch on a key that is not queued must not create an entry.
+	r.touch("o", 0, 0)
+	if _, ok := r.version(repairKey{"o", 0, 0}); ok {
+		t.Fatal("touch created a pending entry")
+	}
+}
+
 func TestStripeSizeAndNegativeOffsets(t *testing.T) {
 	tier, _, _ := newTestTier(t, 2, 2, 16)
 	h, err := tier.Open("obj", true)
