@@ -18,6 +18,11 @@
 // client-side fault counters (iofwd_retries_total, iofwd_timeouts_total,
 // iofwd_reconnects_total, ...) as Prometheus text on /metrics. Per-op I/O
 // errors are counted and reported instead of aborting the run.
+//
+// -nosync skips the final fsync in the write benchmark, so the reported
+// number is acknowledged-burst bandwidth rather than drain-inclusive
+// throughput — the right measure when the server absorbs bursts into a WAL
+// spill tier (fwdd -wal-dir) and drains them in the background.
 package main
 
 import (
@@ -111,6 +116,7 @@ func main() {
 	reconnect := flag.Int("reconnect", 0, "max redial attempts per connection outage (0 disables failover)")
 	dropEvery := flag.Duration("drop-every", 0, "inject a connection drop on every client at this interval (chaos; needs -reconnect)")
 	seed := flag.Int64("seed", 1, "jitter/backoff RNG seed (reproducible chaos runs)")
+	noSync := flag.Bool("nosync", false, "skip the final fsync after the write loop, so the reported number is pure acknowledged-burst bandwidth (what a WAL spill tier absorbs) instead of drain-inclusive throughput")
 	metricsAddr := flag.String("metrics", "", "serve client-side fault counters on this address (/metrics, /statz); empty disables")
 	flag.Parse()
 
@@ -234,8 +240,10 @@ func main() {
 					}
 					opDone(*msg, err)
 				}
-				if err := f.Sync(); err != nil {
-					opDone(0, err)
+				if !*noSync {
+					if err := f.Sync(); err != nil {
+						opDone(0, err)
+					}
 				}
 			}
 			if err := f.Close(); err != nil {

@@ -11,6 +11,15 @@
 //	fwdd -bml-timeout 2s         # degrade writes to the sync path on BML exhaustion
 //	fwdd -fault err=0.01,lat=0.05:5ms,stall=0.001:250ms,short=0.005,panic=1000,seed=42
 //
+// Crash-safe burst spill (internal/wal): writes that miss BML admission are
+// appended to a local write-ahead log and acknowledged instead of degrading
+// to the synchronous path; on startup surviving records are replayed before
+// the daemon listens. -crash SIGKILLs the process at a named WAL crash
+// point for recovery drills.
+//
+//	fwdd -bml-timeout 20ms -wal-dir /tmp/fwd-wal -wal-sync always
+//	fwdd -wal-dir /tmp/fwd-wal -crash after-append:3
+//
 // Striped + replicated multi-backend tier (internal/stripetier):
 //
 //	fwdd -backends mem,mem,mem,mem -replicas 2 -stripe-size 65536
@@ -38,10 +47,13 @@ import (
 
 	"strings"
 
+	"path/filepath"
+
 	"repro/internal/core"
 	"repro/internal/core/fault"
 	"repro/internal/stripetier"
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -63,6 +75,11 @@ func main() {
 	replicas := flag.Int("replicas", 2, "replicas per stripe for -backends (capped at the member count)")
 	ejectAfter := flag.Int("eject-after", 0, "consecutive member errors before ejection (0 = stripetier default)")
 	probeBackoff := flag.Int64("probe-backoff", 0, "tier ops an ejected member waits before its first half-open probe; doubles per failed probe (0 = stripetier default)")
+	walDir := flag.String("wal-dir", "", "directory for the write-ahead spill tier: writes that miss BML admission are logged there and drained asynchronously; surviving records are replayed on startup (empty disables)")
+	walSync := flag.String("wal-sync", wal.SyncInterval, "WAL fsync policy: always | interval | never")
+	walSegment := flag.Int64("wal-segment", 8<<20, "WAL segment rotation size in bytes")
+	walMax := flag.Int64("wal-max", 0, "cap on WAL bytes awaiting drain; past it spills degrade to the sync path (0 = unlimited)")
+	crashSpec := flag.String("crash", "", "deterministic crash points for recovery drills, e.g. after-append:3,before-truncate:1 — SIGKILLs the process at the Nth hit (needs -wal-dir)")
 	flag.Parse()
 
 	var m core.Mode
@@ -112,6 +129,16 @@ func main() {
 			}
 			members = append(members, member)
 		}
+		pendingJournal := ""
+		if *walDir != "" {
+			// The pending set shares the WAL directory: one local durable
+			// area for everything that must survive a restart.
+			if err := os.MkdirAll(*walDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "fwdd: wal dir: %v\n", err)
+				os.Exit(2)
+			}
+			pendingJournal = filepath.Join(*walDir, "stripe-pending.journal")
+		}
 		tier, err = stripetier.New(members, stripetier.Config{
 			StripeSize: *stripeSize,
 			Replicas:   *replicas,
@@ -119,6 +146,7 @@ func main() {
 				MaxConsecutiveErrs: *ejectAfter,
 				ProbeBackoffOps:    *probeBackoff,
 			},
+			PendingJournal: pendingJournal,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fwdd: %v\n", err)
@@ -157,7 +185,46 @@ func main() {
 		}
 	}
 
-	srv := core.NewServer(core.Config{
+	// The write-ahead spill tier opens — and replays any surviving records
+	// from a previous incarnation — before the daemon listens, so no client
+	// can observe pre-recovery state.
+	var spill *wal.Log
+	if *walDir != "" {
+		cs, err := fault.ParseCrash(*crashSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fwdd: %v\n", err)
+			os.Exit(2)
+		}
+		var crash func(string)
+		if cs.Armed() {
+			crash = cs.Fire
+			log.Printf("fwdd: crash points armed: %s", *crashSpec)
+		}
+		lg, rstats, err := wal.Open(wal.Config{
+			Dir:          *walDir,
+			Backend:      backend,
+			SegmentBytes: *walSegment,
+			Sync:         *walSync,
+			MaxBytes:     *walMax,
+			Crash:        crash,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fwdd: wal: %v\n", err)
+			os.Exit(2)
+		}
+		lg.Register(reg)
+		spill = lg
+		if rstats.Segments > 0 {
+			log.Printf("fwdd: wal recovery: %d segments scanned, %d records replayed, %d torn tails discarded, %d apply errors",
+				rstats.Segments, rstats.Replayed, rstats.Torn, rstats.Errors)
+		}
+		log.Printf("fwdd: wal spill tier at %s (sync=%s, segment=%d B)", *walDir, *walSync, *walSegment)
+	} else if *crashSpec != "" {
+		fmt.Fprintln(os.Stderr, "fwdd: -crash needs -wal-dir")
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
 		Mode:           m,
 		Workers:        *workers,
 		Shards:         *shards,
@@ -167,7 +234,11 @@ func main() {
 		Metrics:        reg,
 		QueueHighWater: *queueHW,
 		BMLTimeout:     *bmlTimeout,
-	})
+	}
+	if spill != nil {
+		cfg.Spill = spill
+	}
+	srv := core.NewServer(cfg)
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
@@ -209,6 +280,13 @@ func main() {
 		m, *workers, *bmlMiB, kind, l.Addr())
 	if err := srv.Serve(l); err != nil {
 		log.Fatal(err)
+	}
+	if spill != nil {
+		// Drain every spilled record to the backend before the tier (and
+		// the process) goes away.
+		if err := spill.Close(); err != nil {
+			log.Printf("fwdd: wal close: %v", err)
+		}
 	}
 	if tier != nil {
 		_ = tier.Close()

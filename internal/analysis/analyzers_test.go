@@ -67,6 +67,7 @@ func TestScopes(t *testing.T) {
 		{"simclock", "repro/internal/experiments", true},
 		{"simclock", "repro/internal/bgp", true},
 		{"simclock", "repro/internal/core/fault", true},
+		{"simclock", "repro/internal/wal", true},        // fsync pacing and crash points are op-driven
 		{"simclock", "repro/internal/core", false},      // the real server uses wall time
 		{"simclock", "repro/internal/simcputil", false}, // prefix match must not leak
 
@@ -76,6 +77,7 @@ func TestScopes(t *testing.T) {
 		{"lockhold", "repro/internal/sim", false},
 
 		{"errnowrap", "repro/internal/core", true},
+		{"errnowrap", "repro/internal/wal", true},         // WAL I/O errors surface as deferred wire errors
 		{"errnowrap", "repro/internal/core/fault", false}, // spec-parse errors are operator-facing
 
 		{"opexhaustive", "repro/internal/core", true},
@@ -83,6 +85,7 @@ func TestScopes(t *testing.T) {
 
 		{"goroleak", "repro/internal/core", true},
 		{"goroleak", "repro/internal/core/fault", true},
+		{"goroleak", "repro/internal/wal", true}, // the drainer must be WaitGroup-joined by Close
 		{"goroleak", "repro/internal/telemetry", false},
 		{"goroleak", "repro/internal/sim", false}, // sim procs are engine-joined, not WaitGroup-joined
 	}

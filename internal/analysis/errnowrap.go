@@ -17,11 +17,16 @@ import (
 //   - errors.New inside a function creates an unclassifiable error; the
 //     only legitimate errors.New calls are the package-level typed root
 //     declarations, which live outside function bodies and are not flagged.
+//
+// internal/wal is in scope for the same reason: its I/O failures surface
+// through descdb deferred errors and fsync replies, so a WAL error that
+// does not wrap core.EIO (or one of the wal typed roots) would reach the
+// client as an unclassifiable failure.
 func NewErrnowrap() *Analyzer {
 	return &Analyzer{
 		Name:  "errnowrap",
-		Doc:   "errors built on internal/core's wire paths must be Errno-typed or wrap a typed root with %w",
-		Scope: func(path string) bool { return path == "repro/internal/core" },
+		Doc:   "errors built on internal/core's and internal/wal's wire paths must be Errno-typed or wrap a typed root with %w",
+		Scope: func(path string) bool { return path == "repro/internal/core" || path == "repro/internal/wal" },
 		Run:   runErrnowrap,
 	}
 }

@@ -24,7 +24,7 @@ func NewGoroleak() *Analyzer {
 	return &Analyzer{
 		Name:  "goroleak",
 		Doc:   "flags go statements whose goroutine has no WaitGroup join reachable from Close",
-		Scope: scopePrefixes("repro/internal/core"),
+		Scope: scopePrefixes("repro/internal/core", "repro/internal/wal"),
 		Run:   runGoroleak,
 	}
 }

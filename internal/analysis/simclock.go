@@ -24,6 +24,11 @@ var deterministicPkgs = []string{
 	// op-driven logical clock, never the wall clock — ejection and
 	// readmission decisions replay exactly from an op trace.
 	"repro/internal/stripetier",
+	// The WAL spill tier is append-count-driven by design (fsync pacing,
+	// drainer wakeups, crash points are all pure functions of the op
+	// sequence); a wall-clock read there would make kill/restart drills
+	// unreproducible.
+	"repro/internal/wal",
 }
 
 // scopePrefixes builds a Scope func matching any of the prefixes (a prefix

@@ -80,6 +80,14 @@ func (b *BML) Used() int64 {
 	return b.used
 }
 
+// Waiters returns the number of Gets currently blocked on admission — the
+// instantaneous back-pressure depth (exported as iofwd_bml_waiters).
+func (b *BML) Waiters() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return int64(b.waiters)
+}
+
 // Stats returns a snapshot of the pool counters.
 func (b *BML) Stats() BMLStats {
 	return BMLStats{

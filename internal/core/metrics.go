@@ -55,6 +55,7 @@ type serverMetrics struct {
 	stageQueue   *telemetry.Histogram
 	stageBackend *telemetry.Histogram
 	stageReply   *telemetry.Histogram
+	stageSpill   *telemetry.Histogram
 
 	// Scheduler behaviour.
 	batchSize *telemetry.Histogram
@@ -83,6 +84,10 @@ type serverMetrics struct {
 	workerPanics *telemetry.Counter
 	connPanics   *telemetry.Counter
 	queueRejects *telemetry.Counter
+
+	// Spill tier (the WAL overflow behind BML; see internal/wal).
+	spilled      *telemetry.Counter
+	spillRejects *telemetry.Counter
 }
 
 // opLabelName returns the op label value for metric slot i.
@@ -118,6 +123,7 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 	m.stageQueue = stage("queue")
 	m.stageBackend = stage("backend")
 	m.stageReply = stage("reply")
+	m.stageSpill = stage("spill")
 
 	m.batchSize = reg.Histogram("iofwd_worker_batch_ops",
 		"Tasks dequeued per worker wakeup (the event-loop multiplexing depth).")
@@ -158,6 +164,10 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		telemetry.L("scope", "conn"))
 	m.queueRejects = reg.Counter("iofwd_queue_rejects_total",
 		"Operations refused with ECLOSED because they raced server shutdown (closed work queue).")
+	m.spilled = reg.Counter("iofwd_bml_spilled_total",
+		"Writes that missed staging-pool admission and were absorbed by the write-ahead spill tier.")
+	m.spillRejects = reg.Counter("iofwd_bml_spill_rejects_total",
+		"Writes the spill tier refused (full or closed); they degraded to the synchronous path instead.")
 	return m
 }
 
@@ -181,6 +191,8 @@ func (m *serverMetrics) wire(s *Server) {
 		"Time spent blocked waiting for staging-pool capacity.", &s.bml.stallWait)
 	reg.MustRegister("iofwd_bml_admission_timeouts_total",
 		"Staging buffer requests that gave up waiting (BMLTimeout) and degraded.", &s.bml.timeouts)
+	reg.GaugeFunc("iofwd_bml_waiters",
+		"Requests currently blocked on staging-pool admission.", s.bml.Waiters)
 	if s.sched != nil {
 		q := s.sched
 		reg.GaugeFunc("iofwd_queue_depth",

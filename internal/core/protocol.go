@@ -61,6 +61,11 @@ const (
 	// asynchronous staging and executed synchronously because staging-pool
 	// admission timed out (BML exhaustion degradation).
 	FlagDegraded
+	// FlagSpilled in a response tells the client the write missed staging
+	// admission but was durably appended to the write-ahead spill tier and
+	// will be drained to the backend asynchronously (always accompanied by
+	// FlagStaged: failures surface as deferred errors).
+	FlagSpilled
 )
 
 // Protocol constants.

@@ -75,6 +75,13 @@ type Config struct {
 	// buffer (reply carries FlagDegraded) instead of blocking forever on
 	// BML exhaustion. 0 keeps the paper's pure back-pressure behaviour.
 	BMLTimeout time.Duration
+	// Spill, when non-nil, absorbs ModeAsync writes that miss staging-pool
+	// admission into a durable write-ahead tier (internal/wal) instead of
+	// degrading them to the synchronous path: the record is logged locally,
+	// acknowledged with FlagStaged|FlagSpilled, and drained to the backend
+	// in the background. A Spill refusal (full/closed) still falls back to
+	// the synchronous degrade path, so the write never blocks on the tier.
+	Spill Spiller
 }
 
 // ServerStats are cumulative server counters.
@@ -90,6 +97,9 @@ type ServerStats struct {
 	// Degraded counts writes that bypassed staging after a BML admission
 	// timeout.
 	Degraded uint64
+	// Spilled counts writes absorbed by the write-ahead spill tier after a
+	// BML admission timeout.
+	Spilled uint64
 	// WorkerPanics counts backend panics recovered by the worker pool.
 	WorkerPanics uint64
 }
@@ -172,6 +182,7 @@ func (s *Server) Stats() ServerStats {
 		Conns:        m.conns.Value(),
 		Shed:         m.shed.Value(),
 		Degraded:     m.bmlDegraded.Value(),
+		Spilled:      m.spilled.Value(),
 		WorkerPanics: m.workerPanics.Value(),
 	}
 }
@@ -450,7 +461,6 @@ func (c *serverConn) handleWrite(h *header, start time.Time) error {
 	// cannot wedge every forwarder on admission forever.
 	buf, pooled := s.bml.GetTimeout(int(h.length), s.cfg.BMLTimeout)
 	if !pooled {
-		m.bmlDegraded.Inc()
 		buf = make([]byte, h.length)
 	}
 	putBuf := func() {
@@ -503,9 +513,35 @@ func (c *serverConn) handleWrite(h *header, start time.Time) error {
 	n := int64(h.length)
 	m.bytesWritten.Add(uint64(n))
 
+	// A write that missed staging admission is first offered to the spill
+	// tier (when one is configured): the payload is durably logged locally
+	// and acknowledged, and the background drainer applies it to the
+	// backend later — burst absorption instead of sync collapse. The spill
+	// registers with the descriptor's in-flight bookkeeping exactly like a
+	// staged op, so reads, fsync, and close drain it and its failure
+	// surfaces as a deferred error.
+	if !pooled && s.cfg.Mode == ModeAsync && s.cfg.Spill != nil {
+		d.start()
+		serr := s.cfg.Spill.Append(d.name, off, buf, func(e error) { d.complete(opNum, e) })
+		if serr == nil {
+			m.spilled.Inc()
+			m.stageSpill.Observe(time.Since(recvd).Nanoseconds())
+			// Deferred flags are folded in only after the append landed, so
+			// a refused spill leaves the pending error for the fallback
+			// reply below to report.
+			flags, errno := deferredFlags(d)
+			return c.reply(h.reqID, flags|FlagStaged|FlagSpilled, errno, n, nil)
+		}
+		d.complete(opNum, nil) // undo start: the record never entered the log
+		m.spillRejects.Inc()
+	}
+
 	// A degraded (unpooled) write always executes synchronously: it must
 	// not enter the queue, whose write path returns buffers to the pool.
 	if s.cfg.Mode == ModeDirect || !pooled {
+		if !pooled {
+			m.bmlDegraded.Inc()
+		}
 		_, err := c.safeWriteAt(d, buf, off)
 		m.stageBackend.Observe(time.Since(recvd).Nanoseconds())
 		putBuf()

@@ -1,0 +1,18 @@
+package core
+
+// Spiller is the disk-backed overflow tier behind the BML staging pool
+// (implemented by internal/wal.Log). When staging-pool admission times out,
+// the server offers the write here instead of degrading straight to the
+// synchronous path: an accepted record is durably logged and the write is
+// acknowledged immediately, burst-buffer style.
+//
+// Append must either (a) return nil and later invoke done exactly once with
+// the terminal backend write's result, or (b) return a non-nil error and
+// never invoke done — in which case the server falls back to the
+// synchronous degrade path. done may be called from another goroutine; the
+// server routes it into the descriptor's deferred-error bookkeeping, so
+// spilled writes report failures on a later operation exactly like staged
+// ones.
+type Spiller interface {
+	Append(name string, off int64, data []byte, done func(error)) error
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeSpill is a controllable Spiller: it records appends and lets the test
+// decide when (and with what error) each drain completes.
+type fakeSpill struct {
+	mu      sync.Mutex
+	refuse  error // returned from Append when non-nil (done never called)
+	appends []spillRec
+}
+
+type spillRec struct {
+	name string
+	off  int64
+	data []byte
+	done func(error)
+}
+
+func (f *fakeSpill) Append(name string, off int64, data []byte, done func(error)) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.refuse != nil {
+		return f.refuse
+	}
+	f.appends = append(f.appends, spillRec{name, off, append([]byte(nil), data...), done})
+	return nil
+}
+
+func (f *fakeSpill) take(t *testing.T, i int) spillRec {
+	t.Helper()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.appends) <= i {
+		t.Fatalf("spiller saw %d appends, want at least %d", len(f.appends), i+1)
+	}
+	return f.appends[i]
+}
+
+// spillPair builds an async server whose one-class BML the test can plug, so
+// a write deterministically misses admission and takes the spill (or
+// degrade) path.
+func spillPair(t *testing.T, fs *fakeSpill) (*Client, *Server) {
+	t.Helper()
+	cfg := Config{
+		Mode:       ModeAsync,
+		Workers:    1,
+		BMLBytes:   minBMLClass,
+		BMLTimeout: time.Millisecond,
+		Backend:    NewMemBackend(),
+	}
+	if fs != nil {
+		cfg.Spill = fs
+	}
+	c, s := pipePair(t, cfg)
+	plug := s.bml.Get(minBMLClass)
+	t.Cleanup(func() { s.bml.Put(plug) })
+	return c, s
+}
+
+func TestSpillAbsorbsAdmissionMiss(t *testing.T) {
+	fs := &fakeSpill{}
+	c, s := spillPair(t, fs)
+	f, err := c.Open("burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xab}, minBMLClass)
+	if n, err := f.WriteAt(payload, 128); err != nil || n != len(payload) {
+		t.Fatalf("spilled write: n=%d err=%v", n, err)
+	}
+	st := s.Stats()
+	if st.Spilled != 1 || st.Degraded != 0 {
+		t.Fatalf("stats: spilled=%d degraded=%d, want 1/0", st.Spilled, st.Degraded)
+	}
+	rec := fs.take(t, 0)
+	if rec.name != "burst" || rec.off != 128 || !bytes.Equal(rec.data, payload) {
+		t.Fatalf("spiller saw name=%q off=%d len=%d", rec.name, rec.off, len(rec.data))
+	}
+	// The op is in flight until the drainer reports; fsync must then see a
+	// clean descriptor.
+	rec.done(nil)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("fsync after drain: %v", err)
+	}
+}
+
+func TestSpillDrainFailureIsDeferred(t *testing.T) {
+	fs := &fakeSpill{}
+	c, s := spillPair(t, fs)
+	f, err := c.Open("burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x5c}, minBMLClass)
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatalf("spilled write acked with error: %v", err)
+	}
+	fs.take(t, 0).done(EIO)
+	if err := f.Sync(); !errors.Is(err, EIO) {
+		t.Fatalf("fsync after failed drain: %v, want EIO", err)
+	}
+	// Exactly once: the next fsync is clean.
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second fsync: %v", err)
+	}
+	if v := s.metrics.deferredErrors.Value(); v != 1 {
+		t.Fatalf("deferred errors %d, want 1", v)
+	}
+}
+
+func TestSpillRefusalFallsBackToDegrade(t *testing.T) {
+	fs := &fakeSpill{refuse: errors.New("wal full")}
+	c, s := spillPair(t, fs)
+	f, err := c.Open("burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x11}, minBMLClass)
+	if n, err := f.WriteAt(payload, 0); err != nil || n != len(payload) {
+		t.Fatalf("degraded write: n=%d err=%v", n, err)
+	}
+	st := s.Stats()
+	if st.Spilled != 0 || st.Degraded != 1 {
+		t.Fatalf("stats: spilled=%d degraded=%d, want 0/1", st.Spilled, st.Degraded)
+	}
+	if v := s.metrics.spillRejects.Value(); v != 1 {
+		t.Fatalf("spill rejects %d, want 1", v)
+	}
+	// The degraded path is synchronous: the bytes are already on the backend.
+	got, ok := s.cfg.Backend.(*MemBackend).Bytes("burst")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("degraded write not on backend (ok=%v len=%d)", ok, len(got))
+	}
+	// No spill completion is pending, so fsync returns immediately clean.
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStageAttribution pins where write latency is charged: a degraded
+// (sync-path) write observes the backend stage histogram, a spilled write
+// observes the spill stage and leaves the backend stage alone.
+func TestStageAttribution(t *testing.T) {
+	t.Run("degrade", func(t *testing.T) {
+		c, s := spillPair(t, nil) // no spiller: admission miss degrades
+		f, err := c.Open("burst")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(bytes.Repeat([]byte{1}, minBMLClass), 0); err != nil {
+			t.Fatal(err)
+		}
+		m := s.metrics
+		if m.stageBackend.Count() != 1 || m.stageSpill.Count() != 0 {
+			t.Fatalf("degrade: backend stage %d spill stage %d, want 1/0",
+				m.stageBackend.Count(), m.stageSpill.Count())
+		}
+		if m.bmlDegraded.Value() != 1 {
+			t.Fatalf("degraded counter %d, want 1", m.bmlDegraded.Value())
+		}
+	})
+	t.Run("spill", func(t *testing.T) {
+		fs := &fakeSpill{}
+		c, s := spillPair(t, fs)
+		f, err := c.Open("burst")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(bytes.Repeat([]byte{2}, minBMLClass), 0); err != nil {
+			t.Fatal(err)
+		}
+		m := s.metrics
+		if m.stageSpill.Count() != 1 || m.stageBackend.Count() != 0 {
+			t.Fatalf("spill: spill stage %d backend stage %d, want 1/0",
+				m.stageSpill.Count(), m.stageBackend.Count())
+		}
+		if m.bmlDegraded.Value() != 0 {
+			t.Fatalf("spilled write counted as degraded (%d)", m.bmlDegraded.Value())
+		}
+		fs.take(t, 0).done(nil)
+	})
+}

@@ -19,6 +19,7 @@ type tierMetrics struct {
 	degraded      telemetry.Counter   // iofwd_stripe_degraded_writes_total
 	ejections     telemetry.Counter   // iofwd_stripe_ejections_total
 	readmissions  telemetry.Counter   // iofwd_stripe_readmissions_total
+	journalErrs   telemetry.Counter   // iofwd_stripe_journal_errors_total
 }
 
 func newTierMetrics(n int) *tierMetrics {
@@ -63,6 +64,9 @@ func (t *Tier) Register(reg *telemetry.Registry) {
 	reg.MustRegister("iofwd_stripe_readmissions_total",
 		"Member transitions back to healthy after successful probes.",
 		&m.readmissions)
+	reg.MustRegister("iofwd_stripe_journal_errors_total",
+		"Pending-set journal I/O failures (the entry degraded to in-memory only).",
+		&m.journalErrs)
 	reg.GaugeFunc("iofwd_stripe_repair_pending",
 		"Stripe replicas currently queued for repair.",
 		t.repair.pendingCount)

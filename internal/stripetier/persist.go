@@ -1,0 +1,197 @@
+package stripetier
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// The repair pending set is a staleness marker: a replica queued here must
+// not serve reads, because it holds older bytes (or none) for its stripe.
+// Losing the set across a restart therefore silently re-admits stale
+// replicas. With Config.PendingJournal set, the set is mirrored to an
+// append-only journal of add/del entries using the WAL frame codec
+// (length-prefixed CRC32C — torn tails are detected and discarded exactly
+// like WAL segments), loaded on startup, and compacted when the dead-entry
+// ratio grows.
+//
+// Durability policy: an "add" is fsynced before the entry takes effect —
+// a write acknowledged as degraded must leave a durable stale marker, or
+// a crash would let the skipped replica serve garbage. A "del" is not
+// fsynced: losing one merely re-repairs an already-whole replica.
+//
+// Journal entry payload (inside a wal frame):
+//
+//	0 op     uint8    1 = add, 2 = del
+//	1 nameLen uint16
+//	3 name   ...
+//	. stripe uint64
+//	. member uint32
+const (
+	journalAdd = 1
+	journalDel = 2
+)
+
+// encodeJournalEntry builds one pending-set journal payload.
+func encodeJournalEntry(op byte, k repairKey) []byte {
+	buf := make([]byte, 1+2+len(k.name)+8+4)
+	buf[0] = op
+	binary.BigEndian.PutUint16(buf[1:], uint16(len(k.name)))
+	at := 3 + copy(buf[3:], k.name)
+	binary.BigEndian.PutUint64(buf[at:], uint64(k.stripe))
+	binary.BigEndian.PutUint32(buf[at+8:], uint32(k.member))
+	return buf
+}
+
+// decodeJournalEntry parses one journal payload.
+func decodeJournalEntry(payload []byte) (op byte, k repairKey, err error) {
+	if len(payload) < 3 {
+		return 0, k, fmt.Errorf("%w: short journal entry", core.EIO)
+	}
+	op = payload[0]
+	if op != journalAdd && op != journalDel {
+		return 0, k, fmt.Errorf("%w: bad journal op %d", core.EIO, op)
+	}
+	nameLen := int(binary.BigEndian.Uint16(payload[1:]))
+	if nameLen == 0 || len(payload) != 3+nameLen+8+4 {
+		return 0, k, fmt.Errorf("%w: journal entry length mismatch", core.EIO)
+	}
+	k.name = string(payload[3 : 3+nameLen])
+	k.stripe = int64(binary.BigEndian.Uint64(payload[3+nameLen:]))
+	k.member = int(binary.BigEndian.Uint32(payload[3+nameLen+8:]))
+	if k.stripe < 0 || k.member < 0 {
+		return 0, k, fmt.Errorf("%w: journal entry out of range", core.EIO)
+	}
+	return op, k, nil
+}
+
+// loadJournal replays an existing journal file into a pending set. A torn
+// tail (partial last entry from a crash mid-append) ends the scan cleanly;
+// everything before it is intact by CRC. A missing file is an empty set.
+func loadJournal(path string) (map[repairKey]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return make(map[repairKey]uint64), nil
+		}
+		return nil, fmt.Errorf("%w: opening pending journal: %v", core.EIO, err)
+	}
+	defer f.Close()
+	set := make(map[repairKey]uint64)
+	sc := wal.NewScanner(f)
+	for {
+		payload, err := sc.Next()
+		if err != nil {
+			if err == io.EOF || errors.Is(err, wal.ErrTorn) {
+				break
+			}
+			return nil, err
+		}
+		op, k, derr := decodeJournalEntry(payload)
+		if derr != nil {
+			break // corrupt past-the-CRC entry: treat like a torn tail
+		}
+		switch op {
+		case journalAdd:
+			set[k] = 1
+		case journalDel:
+			delete(set, k)
+		}
+	}
+	return set, nil
+}
+
+// openJournal loads path, compacts it (rewriting only the live adds, so
+// startup drops the accumulated dels and any torn tail), and returns the
+// loaded set plus the journal open for appending.
+func openJournal(path string) (map[repairKey]uint64, *os.File, error) {
+	set, err := loadJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := rewriteJournal(path, set)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, f, nil
+}
+
+// rewriteJournal atomically replaces path with a compacted journal holding
+// one add per live entry and returns it open for appending.
+func rewriteJournal(path string, set map[repairKey]uint64) (*os.File, error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("%w: creating pending journal: %v", core.EIO, err)
+	}
+	for k := range set {
+		if err := wal.AppendFrame(f, encodeJournalEntry(journalAdd, k)); err != nil {
+			_ = f.Close()
+			_ = os.Remove(tmp)
+			return nil, err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return nil, fmt.Errorf("%w: syncing pending journal: %v", core.EIO, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return nil, fmt.Errorf("%w: installing pending journal: %v", core.EIO, err)
+	}
+	return f, nil
+}
+
+// journalAppendLocked mirrors one pending-set mutation to the journal.
+// Called with r.mu held (file writes are not on the lockhold blocking
+// list, and the journal only sees the degraded path). A journal I/O error
+// degrades the set to in-memory-only for this entry and is counted; the
+// repair machinery itself keeps working.
+func (r *repairer) journalAppendLocked(op byte, k repairKey, fsync bool) {
+	if r.journal == nil {
+		return
+	}
+	if err := wal.AppendFrame(r.journal, encodeJournalEntry(op, k)); err != nil {
+		r.t.metrics.journalErrs.Inc()
+		return
+	}
+	if fsync {
+		if err := r.journal.Sync(); err != nil {
+			r.t.metrics.journalErrs.Inc()
+			return
+		}
+	}
+	r.journalWrites++
+	// Compact once the journal holds several times more entries than the
+	// live set (dead adds and dels dominate); the rewrite is small — one
+	// frame per live entry.
+	if r.journalWrites >= 1024 && r.journalWrites >= 4*(len(r.pending)+1) {
+		snapshot := make(map[repairKey]uint64, len(r.pending))
+		for key, v := range r.pending {
+			snapshot[key] = v
+		}
+		f, err := rewriteJournal(r.journalPath, snapshot)
+		if err != nil {
+			r.t.metrics.journalErrs.Inc()
+			return
+		}
+		_ = r.journal.Close()
+		r.journal = f
+		r.journalWrites = 0
+	}
+}
+
+// closeJournalLocked releases the journal file.
+func (r *repairer) closeJournalLocked() {
+	if r.journal != nil {
+		_ = r.journal.Close()
+		r.journal = nil
+	}
+}

@@ -2,6 +2,7 @@ package stripetier
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 
@@ -40,26 +41,57 @@ type repairer struct {
 	pending map[repairKey]uint64
 	closed  bool
 
+	// Pending-set journal (see persist.go); nil when persistence is off.
+	journal       *os.File
+	journalPath   string
+	journalWrites int
+
 	// kick wakes the loop; buffered so enqueue never blocks.
 	kick chan struct{}
 	done chan struct{}
 }
 
-func newRepairer(t *Tier) *repairer {
-	return &repairer{
+// newRepairer builds the repairer, loading the persisted pending set from
+// journalPath when one is configured ("" disables persistence).
+func newRepairer(t *Tier, journalPath string) (*repairer, error) {
+	r := &repairer{
 		t:       t,
 		pending: make(map[repairKey]uint64),
 		kick:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
+	if journalPath != "" {
+		set, f, err := openJournal(journalPath)
+		if err != nil {
+			return nil, err
+		}
+		// Entries that survive a restart must stay out of bounds for the
+		// configured membership (a journal written under a larger tier).
+		for k := range set {
+			if k.member >= len(t.members) {
+				delete(set, k)
+			}
+		}
+		r.pending = set
+		r.journal = f
+		r.journalPath = journalPath
+	}
+	return r, nil
 }
 
 // enqueue records a missing replica (bumping its version if already
-// queued) and wakes the loop.
+// queued) and wakes the loop. A newly inserted entry is journaled durably
+// before enqueue returns: the stale-replica marker must survive a crash
+// that happens after the degraded write is acknowledged.
 func (r *repairer) enqueue(name string, stripe int64, member int) {
+	key := repairKey{name, stripe, member}
 	r.mu.Lock()
 	if !r.closed {
-		r.pending[repairKey{name, stripe, member}]++
+		_, existed := r.pending[key]
+		r.pending[key]++
+		if !existed {
+			r.journalAppendLocked(journalAdd, key, true)
+		}
 	}
 	r.mu.Unlock()
 	r.kickNow()
@@ -114,7 +146,8 @@ func (r *repairer) kickNow() {
 	}
 }
 
-// close stops the loop and waits for it to exit.
+// close stops the loop, waits for it to exit, and releases the journal.
+// Pending entries stay in the journal: a restart reloads and drains them.
 func (r *repairer) close() {
 	r.mu.Lock()
 	if r.closed {
@@ -125,6 +158,9 @@ func (r *repairer) close() {
 	r.mu.Unlock()
 	r.kickNow()
 	<-r.done
+	r.mu.Lock()
+	r.closeJournalLocked()
+	r.mu.Unlock()
 }
 
 // loop drains the pending set whenever kicked. Entries whose member is
@@ -215,6 +251,8 @@ func (r *repairer) repairOne(k repairKey) {
 	r.mu.Lock()
 	if cur, queued := r.pending[k]; queued && cur == startVer {
 		delete(r.pending, k)
+		// Unsynced del: losing it only re-repairs a whole replica.
+		r.journalAppendLocked(journalDel, k, false)
 		r.mu.Unlock()
 		t.metrics.repairs.Inc()
 		return

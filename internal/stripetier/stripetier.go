@@ -20,6 +20,10 @@ type Config struct {
 	Replicas int
 	// Health tunes the per-member ejection state machine.
 	Health HealthConfig
+	// PendingJournal, when non-empty, persists the repair pending set to
+	// this file (WAL frame codec, see persist.go) so replica-staleness
+	// markers survive a daemon restart. Empty keeps the set in memory only.
+	PendingJournal string
 }
 
 // Tier is a striped, replicated composite over N child backends. It
@@ -68,13 +72,22 @@ func New(members []core.Backend, cfg Config) (*Tier, error) {
 		metrics: newTierMetrics(len(members)),
 	}
 	t.health.onTransition = t.onTransition
-	t.repair = newRepairer(t)
+	r, err := newRepairer(t, cfg.PendingJournal)
+	if err != nil {
+		return nil, err
+	}
+	t.repair = r
 	go t.repair.loop()
+	if t.repair.pendingCount() > 0 {
+		// Entries reloaded from the journal: start draining immediately
+		// instead of waiting for the first degraded write.
+		t.repair.kickNow()
+	}
 	return t, nil
 }
 
-// Close stops the background repair loop. Pending repairs are dropped (the
-// pending set is in-memory; see the package comment's durability note).
+// Close stops the background repair loop. With PendingJournal set, queued
+// repairs persist and a restart resumes them; otherwise they are dropped.
 func (t *Tier) Close() error {
 	t.repair.close()
 	return nil

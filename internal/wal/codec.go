@@ -1,0 +1,179 @@
+// Package wal implements a crash-safe, segment-based write-ahead spill
+// tier: the disk-backed overflow behind the BML staging pool (the
+// "burst-buffer" direction in ROADMAP and the periodic/burst I/O literature
+// in PAPERS.md). When staging-pool admission times out, the server appends
+// the write to a local WAL segment and acknowledges it; a background
+// drainer replays records to the backend in append order and truncates
+// segments once every record in them has been applied. On startup the log
+// is scanned, torn tails are discarded, and surviving records are replayed
+// before the daemon accepts traffic — so a SIGKILL mid-burst loses nothing
+// that was acknowledged.
+//
+// The package is deterministic by design: it never reads the wall clock
+// (fsync pacing under SyncInterval is append-count-driven) and its only
+// goroutine, the drainer, is WaitGroup-joined by Close. Crash points for
+// recovery drills are injected through Config.Crash, a pure function of
+// the operation sequence (see internal/core/fault.CrashSet).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Frame layout, shared by WAL segments and any other journal that reuses
+// the codec (the stripetier pending-repair journal does):
+//
+//	0 length uint32   payload bytes following the 8-byte frame header
+//	4 crc    uint32   CRC32C (Castagnoli) of the payload
+//	8 payload...
+//
+// A frame is valid only when the full payload is present and its CRC
+// matches; anything else — a short header, a short payload, a length
+// outside (0, MaxFramePayload], a CRC mismatch — is a torn tail and ends
+// the scan.
+const frameHeader = 8
+
+// MaxFramePayload bounds a single frame's payload: the protocol's largest
+// write plus record-header slack. A scanned length beyond it is garbage
+// (a torn length field), never a real frame.
+const MaxFramePayload = core.MaxPayload + 1<<16
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrTorn reports a torn or corrupt frame: the scanned tail from this
+// point on is discarded by recovery.
+var ErrTorn = errors.New("wal: torn frame")
+
+// ErrClosed reports an operation on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrFull reports that an append would push the log past its configured
+// byte cap; the caller must fall back to its non-spill path.
+var ErrFull = errors.New("wal: log full")
+
+// encodeFrame assembles one frame from the payload parts into a single
+// buffer (header + payload), so an append is one write call.
+func encodeFrame(parts ...[]byte) []byte {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	buf := make([]byte, frameHeader+n)
+	binary.BigEndian.PutUint32(buf[0:], uint32(n))
+	crc := crc32.New(castagnoli)
+	at := frameHeader
+	for _, p := range parts {
+		_, _ = crc.Write(p) // hash.Hash.Write never fails
+		at += copy(buf[at:], p)
+	}
+	binary.BigEndian.PutUint32(buf[4:], crc.Sum32())
+	return buf
+}
+
+// AppendFrame writes one length-prefixed CRC32C frame holding payload to
+// w. It is exported so other journals (the stripetier pending-repair set)
+// can reuse the exact on-disk framing and recovery semantics.
+func AppendFrame(w io.Writer, payload []byte) error {
+	if _, err := w.Write(encodeFrame(payload)); err != nil {
+		return fmt.Errorf("%w: appending frame: %v", core.EIO, err)
+	}
+	return nil
+}
+
+// Scanner reads frames sequentially from r. Next returns io.EOF at a clean
+// end of input and an ErrTorn-wrapped error at a torn tail; Offset reports
+// how many bytes of intact frames have been consumed (the truncation point
+// for discarding a torn tail).
+type Scanner struct {
+	r   io.Reader
+	off int64
+}
+
+// NewScanner returns a Scanner over r.
+func NewScanner(r io.Reader) *Scanner { return &Scanner{r: r} }
+
+// Offset returns the byte offset just past the last intact frame.
+func (s *Scanner) Offset() int64 { return s.off }
+
+// Next returns the next frame's payload. io.EOF marks a clean end (the
+// previous frame ended exactly at EOF); a short header, short payload,
+// out-of-range length, or CRC mismatch returns an error wrapping ErrTorn.
+func (s *Scanner) Next() ([]byte, error) {
+	var hb [frameHeader]byte
+	if _, err := io.ReadFull(s.r, hb[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: short frame header", ErrTorn)
+		}
+		return nil, fmt.Errorf("%w: reading frame header: %v", core.EIO, err)
+	}
+	n := binary.BigEndian.Uint32(hb[0:])
+	want := binary.BigEndian.Uint32(hb[4:])
+	if n == 0 || n > MaxFramePayload {
+		return nil, fmt.Errorf("%w: frame length %d out of range", ErrTorn, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(s.r, payload); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: short frame payload (%d of %d bytes)", ErrTorn, 0, n)
+		}
+		return nil, fmt.Errorf("%w: reading frame payload: %v", core.EIO, err)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: payload crc %#x, frame says %#x", ErrTorn, got, want)
+	}
+	s.off += int64(frameHeader) + int64(n)
+	return payload, nil
+}
+
+// WAL record payload layout (inside a frame):
+//
+//	0 type    uint8    recWrite
+//	1 nameLen uint16   backend object name length
+//	3 name    ...
+//	. offset  uint64   backend offset the data applies at
+//	. data    ...      the write payload (rest of the frame)
+const recWrite = 1
+
+// recHeaderLen returns the record header size for a name.
+func recHeaderLen(name string) int { return 1 + 2 + len(name) + 8 }
+
+// encodeRecordHeader builds the record header for a write of dataLen bytes
+// at off on name. The data itself follows as a separate frame part so the
+// payload is never copied twice.
+func encodeRecordHeader(name string, off int64) []byte {
+	hdr := make([]byte, recHeaderLen(name))
+	hdr[0] = recWrite
+	binary.BigEndian.PutUint16(hdr[1:], uint16(len(name)))
+	at := 3 + copy(hdr[3:], name)
+	binary.BigEndian.PutUint64(hdr[at:], uint64(off))
+	return hdr
+}
+
+// decodeRecord splits a frame payload into its record fields. A payload
+// that does not parse is corrupt in a way the CRC cannot catch (a bug, not
+// bit rot) and is reported as torn so recovery discards it.
+func decodeRecord(payload []byte) (name string, off int64, data []byte, err error) {
+	if len(payload) < 3 || payload[0] != recWrite {
+		return "", 0, nil, fmt.Errorf("%w: bad record type", ErrTorn)
+	}
+	nameLen := int(binary.BigEndian.Uint16(payload[1:]))
+	if nameLen == 0 || len(payload) < 3+nameLen+8 {
+		return "", 0, nil, fmt.Errorf("%w: record header overruns payload", ErrTorn)
+	}
+	name = string(payload[3 : 3+nameLen])
+	off = int64(binary.BigEndian.Uint64(payload[3+nameLen:]))
+	data = payload[3+nameLen+8:]
+	if off < 0 {
+		return "", 0, nil, fmt.Errorf("%w: negative record offset", ErrTorn)
+	}
+	return name, off, data, nil
+}

@@ -1,0 +1,325 @@
+package wal
+
+// End-to-end crash/recovery drills: run fwdd as a real process, SIGKILL it
+// at deterministic WAL crash points mid-burst (internal/core/fault.CrashSet),
+// restart it on the same -wal-dir, and verify every acknowledged spilled
+// write is byte-exact on the backend.
+//
+// The burst is forced down the spill path deterministically: the BML is one
+// buffer class wide of exactly 16 slots (-bml 1 MiB, 64 KiB writes), a
+// "plug" file fills all 16 slots, and a fault-injected backend latency keeps
+// the single worker stuck so no slot frees until long after the burst — so
+// every "data" write misses admission, times out (-bml-timeout), and spills
+// to the WAL. Under -wal-sync always an acknowledged spill is fsynced, so
+// the acked set is exactly what recovery must reproduce.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+const (
+	e2ePayload = 64 << 10 // one BML class exactly
+	e2ePlugs   = 16       // fills the 1 MiB pool
+)
+
+var (
+	fwddOnce sync.Once
+	fwddBin  string
+	fwddErr  error
+)
+
+// buildFwdd compiles cmd/fwdd once per test process.
+func buildFwdd(t *testing.T) string {
+	t.Helper()
+	fwddOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "fwdd-e2e-")
+		if err != nil {
+			fwddErr = err
+			return
+		}
+		fwddBin = filepath.Join(dir, "fwdd")
+		root, err := filepath.Abs("../..")
+		if err != nil {
+			fwddErr = err
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", fwddBin, "repro/cmd/fwdd")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			fwddErr = fmt.Errorf("building fwdd: %v\n%s", err, out)
+		}
+	})
+	if fwddErr != nil {
+		t.Fatal(fwddErr)
+	}
+	return fwddBin
+}
+
+var listenRe = regexp.MustCompile(`listening on (127\.0\.0\.1:\d+)`)
+
+// daemon is one fwdd incarnation with captured stderr.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+	exit chan error
+
+	mu  sync.Mutex
+	log bytes.Buffer
+}
+
+func (d *daemon) stderr() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.String()
+}
+
+// startFwdd launches fwdd and waits for its listen line.
+func startFwdd(t *testing.T, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{
+		cmd:  exec.Command(buildFwdd(t), args...),
+		exit: make(chan error, 1),
+	}
+	pipe, err := d.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = d.cmd.Process.Kill() })
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(pipe)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		sent := false
+		for sc.Scan() {
+			line := sc.Text()
+			d.mu.Lock()
+			d.log.WriteString(line)
+			d.log.WriteByte('\n')
+			d.mu.Unlock()
+			if !sent {
+				if m := listenRe.FindStringSubmatch(line); m != nil {
+					addrc <- m[1]
+					sent = true
+				}
+			}
+		}
+		d.exit <- d.cmd.Wait()
+	}()
+	select {
+	case d.addr = <-addrc:
+	case err := <-d.exit:
+		t.Fatalf("fwdd exited before listening: %v\nstderr:\n%s", err, d.stderr())
+	case <-time.After(20 * time.Second):
+		t.Fatalf("fwdd never reported a listen address\nstderr:\n%s", d.stderr())
+	}
+	return d
+}
+
+// waitExit blocks until the daemon exits and returns the wait error.
+func (d *daemon) waitExit(t *testing.T, timeout time.Duration) error {
+	t.Helper()
+	select {
+	case err := <-d.exit:
+		return err
+	case <-time.After(timeout):
+		t.Fatalf("fwdd did not exit in %v\nstderr:\n%s", timeout, d.stderr())
+		return nil
+	}
+}
+
+// sigkilled reports whether the exited daemon died from SIGKILL (self-kill
+// at a crash point) rather than a clean exit.
+func sigkilled(d *daemon) bool {
+	ps := d.cmd.ProcessState
+	if ps == nil {
+		return false
+	}
+	if ws, ok := ps.Sys().(syscall.WaitStatus); ok && ws.Signaled() && ws.Signal() == syscall.SIGKILL {
+		return true
+	}
+	return ps.ExitCode() == 137 // the os.Exit fallback in fault.CrashSet
+}
+
+// crashArgs builds the shared fwdd argument list for one incarnation.
+func crashArgs(root, walDir string, segBytes int64, plugLat time.Duration, crash string) []string {
+	args := []string{
+		"-listen", "127.0.0.1:0",
+		"-mode", "async",
+		"-workers", "1",
+		"-bml", "1",
+		"-bml-timeout", "5ms",
+		"-backend", "file",
+		"-root", root,
+		"-wal-dir", walDir,
+		"-wal-sync", SyncAlways,
+		"-wal-segment", fmt.Sprint(segBytes),
+	}
+	if plugLat > 0 {
+		args = append(args, "-fault", fmt.Sprintf("lat=1:%s,seed=1", plugLat))
+	}
+	if crash != "" {
+		args = append(args, "-crash", crash)
+	}
+	return args
+}
+
+// runBurst plugs the BML, then writes nData patterned 64 KiB records to
+// "data" until the daemon dies, returning which records were acknowledged.
+func runBurst(t *testing.T, addr string, nData int) []bool {
+	t.Helper()
+	c, err := core.Dial("tcp", addr, core.WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	plug, err := c.Open("plug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < e2ePlugs; i++ {
+		if _, err := plug.WriteAt(pattern(i, e2ePayload), int64(i*e2ePayload)); err != nil {
+			t.Fatalf("plug write %d: %v", i, err)
+		}
+	}
+	data, err := c.Open("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := make([]bool, nData)
+	for i := 0; i < nData; i++ {
+		if _, err := data.WriteAt(pattern(100+i, e2ePayload), int64(i*e2ePayload)); err != nil {
+			break // the daemon died under us; everything before i is acked
+		}
+		acked[i] = true
+	}
+	return acked
+}
+
+// verifyRecovered reads every acknowledged record back from a restarted
+// daemon and checks it byte for byte.
+func verifyRecovered(t *testing.T, addr string, acked []bool) int {
+	t.Helper()
+	c, err := core.Dial("tcp", addr, core.WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f, err := c.Open("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("fsync after restart: %v", err)
+	}
+	buf := make([]byte, e2ePayload)
+	verified := 0
+	for i, ok := range acked {
+		if !ok {
+			continue
+		}
+		if _, err := f.ReadAt(buf, int64(i*e2ePayload)); err != nil {
+			t.Fatalf("record %d: acknowledged before the crash but unreadable after recovery: %v", i, err)
+		}
+		if !bytes.Equal(buf, pattern(100+i, e2ePayload)) {
+			t.Fatalf("record %d: acknowledged bytes differ after recovery", i)
+		}
+		verified++
+	}
+	return verified
+}
+
+// TestCrashRecoveryE2E is the acceptance drill: SIGKILL fwdd mid-burst at
+// each injected crash point, restart on the same -wal-dir, and require
+// byte-exact recovery of every acknowledged write.
+func TestCrashRecoveryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-level crash drills in -short mode")
+	}
+	cases := []struct {
+		name     string
+		crash    string
+		segBytes int64
+		plugLat  time.Duration
+		nData    int
+		// wantUnacked requires the crash to interrupt the burst itself
+		// (append-side points); drain-side points fire after the burst.
+		wantUnacked bool
+		wantTorn    bool
+	}{
+		// Killed halfway through writing the 8th spilled frame: the tail is
+		// torn, records 1..7 were acknowledged and must survive.
+		{name: "mid-append", crash: "mid-append:8", segBytes: 8 << 20,
+			plugLat: 3 * time.Second, nData: 24, wantUnacked: true, wantTorn: true},
+		// Killed after the 8th frame landed but before its reply: the acked
+		// prefix plus possibly one unacked record recover.
+		{name: "after-append", crash: "after-append:8", segBytes: 8 << 20,
+			plugLat: 3 * time.Second, nData: 24, wantUnacked: true},
+		// One record per segment; killed when the drainer finished the first
+		// segment but before removing it — replay must be idempotent.
+		{name: "before-truncate", crash: "before-truncate:1", segBytes: 4 << 10,
+			plugLat: 1200 * time.Millisecond, nData: 12},
+		// Killed right after the first segment was removed: its record must
+		// already be fsynced on the backend (the drainer's durability rule).
+		{name: "after-truncate", crash: "after-truncate:1", segBytes: 4 << 10,
+			plugLat: 1200 * time.Millisecond, nData: 12},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			root, walDir := t.TempDir(), t.TempDir()
+
+			// Incarnation 1: crash point armed, backend latency holding the
+			// plug in place.
+			d1 := startFwdd(t, crashArgs(root, walDir, tc.segBytes, tc.plugLat, tc.crash)...)
+			acked := runBurst(t, d1.addr, tc.nData)
+			if err := d1.waitExit(t, 30*time.Second); err == nil {
+				t.Fatalf("fwdd exited cleanly; want death at crash point %s", tc.crash)
+			}
+			if !sigkilled(d1) {
+				t.Fatalf("fwdd died but not by SIGKILL: %v\nstderr:\n%s",
+					d1.cmd.ProcessState, d1.stderr())
+			}
+			nAcked := 0
+			for _, ok := range acked {
+				if ok {
+					nAcked++
+				}
+			}
+			if nAcked == 0 {
+				t.Fatalf("no data writes acknowledged before the crash\nstderr:\n%s", d1.stderr())
+			}
+			if tc.wantUnacked && nAcked == tc.nData {
+				t.Fatalf("crash %s did not interrupt the burst (%d/%d acked)",
+					tc.crash, nAcked, tc.nData)
+			}
+
+			// Incarnation 2: same backend root and WAL dir, no crash points,
+			// no chaos — recovery replays survivors before listening.
+			d2 := startFwdd(t, crashArgs(root, walDir, tc.segBytes, 0, "")...)
+			verified := verifyRecovered(t, d2.addr, acked)
+			t.Logf("%s: %d/%d acked records byte-exact after kill+restart", tc.name, verified, tc.nData)
+			if tc.wantTorn && !regexp.MustCompile(`\b[1-9]\d* torn tails discarded`).MatchString(d2.stderr()) {
+				t.Fatalf("recovery log reports no torn tail after %s\nstderr:\n%s", tc.crash, d2.stderr())
+			}
+			_ = d2.cmd.Process.Signal(syscall.SIGTERM)
+			if err := d2.waitExit(t, 30*time.Second); err != nil {
+				t.Fatalf("restarted fwdd did not shut down cleanly: %v\nstderr:\n%s", err, d2.stderr())
+			}
+		})
+	}
+}

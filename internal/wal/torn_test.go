@@ -1,0 +1,164 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// tornFixture builds one segment holding nRecs records and returns the
+// file bytes plus the byte offset where the last record's frame begins.
+func tornFixture(nRecs, payloadLen int) (data []byte, lastStart int) {
+	var buf bytes.Buffer
+	for i := 0; i < nRecs; i++ {
+		lastStart = buf.Len()
+		buf.Write(encodeFrame(encodeRecordHeader("obj", int64(i*payloadLen)), pattern(i, payloadLen)))
+	}
+	return buf.Bytes(), lastStart
+}
+
+// recoverFixture writes seg to a fresh dir, runs recovery, and returns the
+// backend plus recover stats.
+func recoverFixture(t *testing.T, seg []byte) (*core.MemBackend, RecoverStats) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(0)), seg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	be := core.NewMemBackend()
+	lg, stats, err := Open(Config{Dir: dir, Backend: be})
+	if err != nil {
+		t.Fatalf("recovery failed outright: %v", err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return be, stats
+}
+
+// checkPrefix asserts the backend holds exactly the first n records of the
+// fixture, byte for byte, and nothing of any later record.
+func checkPrefix(t *testing.T, be *core.MemBackend, nRecs, payloadLen int) {
+	t.Helper()
+	got, ok := be.Bytes("obj")
+	if nRecs == 0 {
+		if ok && len(got) != 0 {
+			t.Fatalf("backend holds %d bytes, want none", len(got))
+		}
+		return
+	}
+	if !ok || len(got) != nRecs*payloadLen {
+		t.Fatalf("backend holds %d bytes, want exactly %d (the %d intact records)",
+			len(got), nRecs*payloadLen, nRecs)
+	}
+	for i := 0; i < nRecs; i++ {
+		if !bytes.Equal(got[i*payloadLen:(i+1)*payloadLen], pattern(i, payloadLen)) {
+			t.Fatalf("record %d bytes corrupted after recovery", i)
+		}
+	}
+}
+
+// TestTornTailTruncation truncates the segment at EVERY byte offset of the
+// last record's frame and asserts recovery applies exactly the intact
+// prefix: all earlier records, none of the cut one.
+func TestTornTailTruncation(t *testing.T) {
+	const nRecs, payloadLen = 4, 48
+	seg, lastStart := tornFixture(nRecs, payloadLen)
+	frameLen := len(seg) - lastStart
+	for cut := 0; cut <= frameLen; cut++ {
+		cut := cut
+		t.Run(fmt.Sprintf("cut%03d", cut), func(t *testing.T) {
+			be, stats := recoverFixture(t, seg[:lastStart+cut])
+			wantIntact := nRecs - 1
+			if cut == frameLen {
+				wantIntact = nRecs
+			}
+			checkPrefix(t, be, wantIntact, payloadLen)
+			wantTorn := 1
+			if cut == 0 || cut == frameLen {
+				// Cut at a frame boundary: the file ends cleanly, nothing
+				// is torn (at cut==frameLen the last record is intact and
+				// must be applied too).
+				wantTorn = 0
+			}
+			wantReplayed := nRecs - 1
+			if cut == frameLen {
+				wantReplayed = nRecs
+			}
+			if stats.Torn != wantTorn || stats.Replayed != wantReplayed {
+				t.Fatalf("cut %d/%d: stats %+v, want torn=%d replayed=%d",
+					cut, frameLen, stats, wantTorn, wantReplayed)
+			}
+		})
+	}
+}
+
+// TestTornTailCorruption flips one byte at EVERY offset of the last
+// record's frame and asserts recovery keeps the intact prefix and discards
+// the corrupt record (CRC or structural check, depending on the byte).
+func TestTornTailCorruption(t *testing.T) {
+	const nRecs, payloadLen = 4, 48
+	seg, lastStart := tornFixture(nRecs, payloadLen)
+	frameLen := len(seg) - lastStart
+	for off := 0; off < frameLen; off++ {
+		off := off
+		t.Run(fmt.Sprintf("flip%03d", off), func(t *testing.T) {
+			mut := append([]byte(nil), seg...)
+			mut[lastStart+off] ^= 0xa5
+			be, stats := recoverFixture(t, mut)
+			checkPrefix(t, be, nRecs-1, payloadLen)
+			if stats.Replayed != nRecs-1 {
+				t.Fatalf("flip at %d: replayed %d, want %d", off, stats.Replayed, nRecs-1)
+			}
+			if stats.Torn != 1 {
+				t.Fatalf("flip at %d: torn=%d, want 1", off, stats.Torn)
+			}
+		})
+	}
+}
+
+// TestTornMidSegment pins the scan-stops-at-tear rule: a corrupt record in
+// the middle of a segment discards it AND everything after it in that
+// segment (append order would otherwise be violated), while later segments
+// still replay.
+func TestTornMidSegment(t *testing.T) {
+	const payloadLen = 48
+	dir := t.TempDir()
+	// Segment 0: rec0 intact, rec1 corrupt, rec2 intact-but-after-tear.
+	seg0, lastStart := tornFixture(2, payloadLen)
+	seg0[lastStart+frameHeader+4] ^= 0xff // corrupt rec1's payload
+	seg0 = append(seg0, encodeFrame(encodeRecordHeader("obj", 2*payloadLen), pattern(2, payloadLen))...)
+	if err := os.WriteFile(filepath.Join(dir, segName(0)), seg0, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Segment 1: rec at a disjoint offset, fully intact.
+	seg1 := encodeFrame(encodeRecordHeader("obj", 10*payloadLen), pattern(9, payloadLen))
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), seg1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	be := core.NewMemBackend()
+	lg, stats, err := Open(Config{Dir: dir, Backend: be})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	if stats.Replayed != 2 || stats.Torn != 1 || stats.Segments != 2 {
+		t.Fatalf("stats: %+v, want replayed=2 torn=1 segments=2", stats)
+	}
+	got, _ := be.Bytes("obj")
+	if !bytes.Equal(got[:payloadLen], pattern(0, payloadLen)) {
+		t.Fatalf("rec0 not replayed")
+	}
+	for _, b := range got[payloadLen : 3*payloadLen] {
+		if b != 0 {
+			t.Fatalf("bytes from the torn tail leaked into the backend")
+		}
+	}
+	if !bytes.Equal(got[10*payloadLen:11*payloadLen], pattern(9, payloadLen)) {
+		t.Fatalf("segment after the torn one not replayed")
+	}
+}

@@ -1,0 +1,700 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Sync policy names accepted by Config.Sync (and fwdd's -wal-sync flag).
+const (
+	// SyncAlways fsyncs the active segment after every append: an
+	// acknowledged spill is durable before the client hears about it.
+	SyncAlways = "always"
+	// SyncInterval fsyncs every Config.SyncEvery appends and at rotation:
+	// the default trade — a crash can lose at most SyncEvery-1 acked
+	// spills' durability, while the common-case append stays one write.
+	SyncInterval = "interval"
+	// SyncNever leaves flushing to the OS: fastest, crash-unsafe; for
+	// benchmarking the framing cost alone.
+	SyncNever = "never"
+)
+
+// Crash-point names fired through Config.Crash, in op order. Each fires at
+// a deterministic position in the append/truncate sequence, so a kill
+// schedule expressed as occurrence counts is reproducible (see
+// fault.CrashSet).
+const (
+	// CrashMidAppend fires between the two halves of a deliberately split
+	// frame write: the on-disk tail is torn mid-record.
+	CrashMidAppend = "mid-append"
+	// CrashAfterAppend fires after a frame is fully written (and synced,
+	// under SyncAlways) but before the caller acknowledges it.
+	CrashAfterAppend = "after-append"
+	// CrashBeforeTruncate fires when a rotated segment's last record has
+	// drained, before the segment file is removed: recovery re-replays the
+	// whole segment (idempotently).
+	CrashBeforeTruncate = "before-truncate"
+	// CrashAfterTruncate fires just after a drained segment is removed.
+	CrashAfterTruncate = "after-truncate"
+)
+
+// Config configures a Log.
+type Config struct {
+	// Dir holds the segment files. It is created if missing. The log owns
+	// files matching wal-*.seg inside it; other files are ignored.
+	Dir string
+	// Backend receives replayed and drained records.
+	Backend core.Backend
+	// SegmentBytes rotates the active segment once it would exceed this
+	// size (default 8 MiB). A single record larger than the limit still
+	// occupies one (oversized) segment by itself.
+	SegmentBytes int64
+	// Sync is the fsync policy: SyncAlways, SyncInterval or SyncNever
+	// (default SyncInterval).
+	Sync string
+	// SyncEvery is the append interval for SyncInterval (default 32).
+	SyncEvery int
+	// MaxBytes caps the bytes queued on disk awaiting drain; an append
+	// past the cap fails with ErrFull so the caller can fall back to its
+	// non-spill path. 0 means unlimited.
+	MaxBytes int64
+	// Crash, when non-nil, is invoked at named crash points (the Crash*
+	// constants). Production leaves it nil; the kill/restart harness
+	// installs fault.CrashSet.Fire to SIGKILL the process mid-sequence.
+	Crash func(point string)
+}
+
+// RecoverStats reports what Open found and replayed from a previous
+// incarnation's segments.
+type RecoverStats struct {
+	// Segments is how many segment files were scanned.
+	Segments int
+	// Replayed is how many intact records were applied to the backend.
+	Replayed int
+	// Torn is how many segments ended in a discarded torn tail.
+	Torn int
+	// Errors is how many records failed to apply (backend errors). Their
+	// segments are kept on disk for the next recovery pass.
+	Errors int
+}
+
+// record is the in-memory drain queue entry for one appended frame. The
+// payload itself stays on disk (bounded memory is the point of spilling);
+// the drainer reads it back by position.
+type record struct {
+	seg     *segment
+	name    string
+	off     int64
+	dataPos int64 // absolute file offset of the write payload
+	n       int   // payload length
+	frame   int64 // whole frame length, for liveBytes accounting
+	done    func(error)
+}
+
+// segment is one on-disk WAL file.
+type segment struct {
+	id      uint64
+	path    string
+	f       *os.File
+	size    int64 // bytes of intact appended frames
+	pending int   // appended records not yet drained
+	rotated bool  // no longer the active segment
+}
+
+// Log is the write-ahead spill tier. Appends go to the active segment;
+// a single background drainer replays records to the backend in append
+// order and truncates segments whose records have all been applied.
+type Log struct {
+	cfg Config
+
+	mu          sync.Mutex
+	cond        *sync.Cond // signalled on enqueue and on close
+	queue       []record
+	active      *segment
+	rotatedSegs []*segment // rotated, still holding undrained records
+	nextSeg     uint64
+	liveBytes   int64
+	unsynced    int // appends since the last fsync (SyncInterval pacing)
+	closed      bool
+
+	wg sync.WaitGroup
+
+	// drainer-only handle cache: most bursts hammer one descriptor, so one
+	// slot captures almost all reopens without a map that never shrinks.
+	cacheName   string
+	cacheHandle core.Handle
+
+	// Counters are value fields registered via MustRegister so the hot
+	// path never chases a pointer it doesn't already have.
+	appends      telemetry.Counter
+	appendErrors telemetry.Counter
+	replayed     telemetry.Counter
+	replayErrors telemetry.Counter
+	torn         telemetry.Counter
+	drained      telemetry.Counter
+	drainErrors  telemetry.Counter
+	truncated    telemetry.Counter
+	syncs        telemetry.Counter
+}
+
+const (
+	defaultSegmentBytes = 8 << 20
+	defaultSyncEvery    = 32
+	segPrefix           = "wal-"
+	segSuffix           = ".seg"
+)
+
+// segName formats a segment file name; lexicographic order is ID order.
+func segName(id uint64) string { return fmt.Sprintf("%s%016x%s", segPrefix, id, segSuffix) }
+
+// Open recovers any segments left in cfg.Dir by a previous incarnation —
+// replaying every intact record to the backend and discarding torn
+// tails — then starts the drainer and returns a log ready for appends.
+// Callers must not accept traffic before Open returns: recovery ordering
+// with respect to new writes is only guaranteed by that barrier.
+func Open(cfg Config) (*Log, RecoverStats, error) {
+	if cfg.Dir == "" {
+		return nil, RecoverStats{}, fmt.Errorf("%w: wal: empty dir", core.EINVAL)
+	}
+	if cfg.Backend == nil {
+		return nil, RecoverStats{}, fmt.Errorf("%w: wal: nil backend", core.EINVAL)
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = defaultSegmentBytes
+	}
+	if cfg.Sync == "" {
+		cfg.Sync = SyncInterval
+	}
+	switch cfg.Sync {
+	case SyncAlways, SyncInterval, SyncNever:
+	default:
+		return nil, RecoverStats{}, fmt.Errorf("%w: wal: unknown sync policy %q", core.EINVAL, cfg.Sync)
+	}
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = defaultSyncEvery
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, RecoverStats{}, fmt.Errorf("%w: creating wal dir: %v", core.EIO, err)
+	}
+	l := &Log{cfg: cfg}
+	l.cond = sync.NewCond(&l.mu)
+	stats, err := l.recover()
+	if err != nil {
+		return nil, stats, err
+	}
+	if err := l.openActive(); err != nil {
+		return nil, stats, err
+	}
+	l.wg.Add(1)
+	go l.drain()
+	return l, stats, nil
+}
+
+// recover scans segment files oldest-first, applies intact records to the
+// backend, and removes segments that replayed fully. A torn tail ends that
+// segment's scan (later segments are still processed: a torn tail in an
+// older segment can only exist if the crash tore a write that was never
+// acknowledged, and replay is positional and idempotent either way). A
+// segment with backend apply errors is kept for the next recovery.
+func (l *Log) recover() (RecoverStats, error) {
+	var stats RecoverStats
+	names, err := filepath.Glob(filepath.Join(l.cfg.Dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		return stats, fmt.Errorf("%w: listing wal dir: %v", core.EIO, err)
+	}
+	sort.Strings(names) // fixed-width hex IDs: lexicographic == numeric
+	handles := make(map[string]core.Handle)
+	defer func() {
+		for _, h := range handles {
+			_ = h.Close()
+		}
+	}()
+	for _, path := range names {
+		base := filepath.Base(path)
+		idHex := strings.TrimSuffix(strings.TrimPrefix(base, segPrefix), segSuffix)
+		var id uint64
+		if _, err := fmt.Sscanf(idHex, "%x", &id); err != nil {
+			continue // not one of ours
+		}
+		if id >= l.nextSeg {
+			l.nextSeg = id + 1
+		}
+		stats.Segments++
+		clean, err := l.replaySegment(path, handles, &stats)
+		if err != nil {
+			return stats, err
+		}
+		if clean {
+			if err := os.Remove(path); err != nil {
+				return stats, fmt.Errorf("%w: removing replayed segment: %v", core.EIO, err)
+			}
+		}
+	}
+	for name, h := range handles {
+		if err := h.Sync(); err != nil {
+			return stats, fmt.Errorf("%w: syncing %q after replay: %v", core.EIO, name, err)
+		}
+	}
+	return stats, nil
+}
+
+// replaySegment streams one segment's records into the backend. It reports
+// clean=true when every record in the file was applied successfully (the
+// file may then be deleted).
+func (l *Log) replaySegment(path string, handles map[string]core.Handle, stats *RecoverStats) (clean bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("%w: opening segment: %v", core.EIO, err)
+	}
+	defer f.Close()
+	clean = true
+	sc := NewScanner(f)
+	for {
+		payload, err := sc.Next()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			if errors.Is(err, ErrTorn) {
+				stats.Torn++
+				l.torn.Inc()
+				break // everything past a tear is garbage
+			}
+			return false, err
+		}
+		name, off, data, derr := decodeRecord(payload)
+		if derr != nil {
+			stats.Torn++
+			l.torn.Inc()
+			break
+		}
+		h, ok := handles[name]
+		if !ok {
+			h, err = l.cfg.Backend.Open(name, true)
+			if err != nil {
+				stats.Errors++
+				l.replayErrors.Inc()
+				clean = false
+				continue
+			}
+			handles[name] = h
+		}
+		n, werr := h.WriteAt(data, off)
+		if werr == nil && n < len(data) {
+			werr = fmt.Errorf("%w: short replay write (%d of %d bytes)", core.EIO, n, len(data))
+		}
+		if werr != nil {
+			stats.Errors++
+			l.replayErrors.Inc()
+			clean = false
+			continue
+		}
+		stats.Replayed++
+		l.replayed.Inc()
+	}
+	return clean, nil
+}
+
+// openActive creates a fresh active segment.
+func (l *Log) openActive() error {
+	id := l.nextSeg
+	l.nextSeg++
+	path := filepath.Join(l.cfg.Dir, segName(id))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("%w: creating segment: %v", core.EIO, err)
+	}
+	l.active = &segment{id: id, path: path, f: f}
+	return nil
+}
+
+// Append durably stages one positional write and returns once the record
+// is in the log (synced per policy). done is invoked exactly once from the
+// drainer with the backend write's result — nil on success, the wrapped
+// error otherwise — mirroring the deferred-error semantics of the staged
+// async path. If Append returns a non-nil error the record was NOT logged,
+// done will never be called, and the caller must fall back to its
+// non-spill path.
+//
+// Append implements core.Spiller.
+func (l *Log) Append(name string, off int64, data []byte, done func(error)) error {
+	if name == "" || len(name) > 1<<16-1 {
+		return fmt.Errorf("%w: bad record name length %d", core.EINVAL, len(name))
+	}
+	if off < 0 {
+		return fmt.Errorf("%w: negative record offset", core.EINVAL)
+	}
+	frame := encodeFrame(encodeRecordHeader(name, off), data)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.cfg.MaxBytes > 0 && l.liveBytes+int64(len(frame)) > l.cfg.MaxBytes {
+		return fmt.Errorf("%w: %d live + %d frame > %d cap", ErrFull, l.liveBytes, len(frame), l.cfg.MaxBytes)
+	}
+	if l.active.size > 0 && l.active.size+int64(len(frame)) > l.cfg.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			l.appendErrors.Inc()
+			return err
+		}
+	}
+	seg := l.active
+	if err := l.writeFrameLocked(seg, frame); err != nil {
+		l.appendErrors.Inc()
+		return err
+	}
+	if err := l.syncPolicyLocked(seg); err != nil {
+		// The frame hit the file but its durability is unknown; leave
+		// seg.size where it was so the next append overwrites the orphan
+		// and recovery at worst idempotently re-applies it.
+		l.appendErrors.Inc()
+		return err
+	}
+	dataPos := seg.size + frameHeader + int64(recHeaderLen(name))
+	seg.size += int64(len(frame))
+	seg.pending++
+	l.liveBytes += int64(len(frame))
+	l.queue = append(l.queue, record{
+		seg: seg, name: name, off: off,
+		dataPos: dataPos, n: len(data), frame: int64(len(frame)),
+		done: done,
+	})
+	l.appends.Inc()
+	l.fire(CrashAfterAppend)
+	l.cond.Signal()
+	return nil
+}
+
+// writeFrameLocked lands one frame at the segment's append position using
+// positional writes (no seek state to corrupt). When a crash hook is
+// installed the write is split so CrashMidAppend genuinely tears a record
+// on disk.
+func (l *Log) writeFrameLocked(seg *segment, frame []byte) error {
+	if l.cfg.Crash != nil && len(frame) > 1 {
+		half := len(frame) / 2
+		if _, err := seg.f.WriteAt(frame[:half], seg.size); err != nil {
+			return fmt.Errorf("%w: appending frame: %v", core.EIO, err)
+		}
+		l.fire(CrashMidAppend)
+		if _, err := seg.f.WriteAt(frame[half:], seg.size+int64(half)); err != nil {
+			return fmt.Errorf("%w: appending frame: %v", core.EIO, err)
+		}
+		return nil
+	}
+	if _, err := seg.f.WriteAt(frame, seg.size); err != nil {
+		return fmt.Errorf("%w: appending frame: %v", core.EIO, err)
+	}
+	return nil
+}
+
+// syncPolicyLocked applies the fsync policy after an append.
+func (l *Log) syncPolicyLocked(seg *segment) error {
+	switch l.cfg.Sync {
+	case SyncAlways:
+		return l.fsyncLocked(seg)
+	case SyncInterval:
+		l.unsynced++
+		if l.unsynced >= l.cfg.SyncEvery {
+			return l.fsyncLocked(seg)
+		}
+	}
+	return nil
+}
+
+func (l *Log) fsyncLocked(seg *segment) error {
+	if err := seg.f.Sync(); err != nil {
+		return fmt.Errorf("%w: syncing segment: %v", core.EIO, err)
+	}
+	l.unsynced = 0
+	l.syncs.Inc()
+	return nil
+}
+
+// rotateLocked seals the active segment and opens a fresh one. Under
+// SyncInterval the sealed segment is synced first, so a segment file is
+// fully durable the moment it stops being written.
+func (l *Log) rotateLocked() error {
+	seg := l.active
+	if l.cfg.Sync == SyncInterval && l.unsynced > 0 {
+		if err := l.fsyncLocked(seg); err != nil {
+			return err
+		}
+	}
+	seg.rotated = true
+	if seg.pending == 0 {
+		// Already fully drained: no truncate barrier needed, just drop it.
+		l.removeSegLocked(seg)
+	} else {
+		l.rotatedSegs = append(l.rotatedSegs, seg)
+	}
+	return l.openActive()
+}
+
+// removeSegLocked closes and deletes a fully drained segment file. Removal
+// failure is not fatal — the records were all applied, and recovery would
+// only re-apply them idempotently — but it is counted.
+func (l *Log) removeSegLocked(seg *segment) {
+	l.fire(CrashBeforeTruncate)
+	_ = seg.f.Close()
+	if err := os.Remove(seg.path); err != nil {
+		l.drainErrors.Inc()
+		return
+	}
+	l.truncated.Inc()
+	l.fire(CrashAfterTruncate)
+}
+
+// drain is the background replay loop: pop the oldest record, read its
+// payload back from the segment, apply it to the backend, report through
+// done, release the segment space. Global FIFO order preserves per-name
+// append order (the property the deferred-write semantics need).
+func (l *Log) drain() {
+	defer l.wg.Done()
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if len(l.queue) == 0 {
+			// Closed and fully drained.
+			l.mu.Unlock()
+			return
+		}
+		rec := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+
+		err := l.apply(rec)
+		if err != nil {
+			l.drainErrors.Inc()
+		} else {
+			l.drained.Inc()
+		}
+		if rec.done != nil {
+			rec.done(err)
+		}
+
+		l.mu.Lock()
+		rec.seg.pending--
+		l.liveBytes -= rec.frame
+		if rec.seg.pending == 0 {
+			// About to give up the segment — the records' only durable
+			// copy. Flush the backend first, so a crash immediately after
+			// the truncate cannot lose an applied-but-unsynced record. On
+			// flush failure the rotated segment stays on disk for the next
+			// recovery (idempotent re-apply) and the active one keeps its
+			// bytes.
+			flushed := l.syncBackendCache() == nil
+			if rec.seg.rotated {
+				for i, s := range l.rotatedSegs {
+					if s == rec.seg {
+						l.rotatedSegs = append(l.rotatedSegs[:i], l.rotatedSegs[i+1:]...)
+						break
+					}
+				}
+				if flushed {
+					l.removeSegLocked(rec.seg)
+				} else {
+					l.drainErrors.Inc()
+					_ = rec.seg.f.Close()
+				}
+			} else if flushed {
+				// Active segment fully drained: rewind it in place so a
+				// quiet log stays one small file.
+				if err := rec.seg.f.Truncate(0); err == nil {
+					rec.seg.size = 0
+					l.truncated.Inc()
+				}
+			}
+		}
+		l.mu.Unlock()
+	}
+}
+
+// syncBackendCache flushes the drainer's current backend handle. Called
+// before a drained segment is discarded; a handle evicted from the cache
+// was already synced at eviction, so between the two every applied record
+// is durable on the backend before its WAL copy goes away.
+func (l *Log) syncBackendCache() error {
+	if l.cacheHandle == nil {
+		return nil
+	}
+	if err := l.cacheHandle.Sync(); err != nil {
+		return fmt.Errorf("%w: syncing backend before truncate: %v", core.EIO, err)
+	}
+	return nil
+}
+
+// apply reads one record's payload back from its segment and writes it to
+// the backend, reusing the one-slot handle cache.
+func (l *Log) apply(rec record) error {
+	buf := make([]byte, rec.n)
+	if rec.n > 0 {
+		if _, err := rec.seg.f.ReadAt(buf, rec.dataPos); err != nil {
+			return fmt.Errorf("%w: reading back spilled record: %v", core.EIO, err)
+		}
+	}
+	if l.cacheHandle == nil || l.cacheName != rec.name {
+		if l.cacheHandle != nil {
+			// Sync before eviction: see syncBackendCache. A failure here is
+			// counted but does not consume the record — its segment simply
+			// stays on disk if the pre-truncate flush also fails.
+			if l.cacheHandle.Sync() != nil {
+				l.drainErrors.Inc()
+			}
+			_ = l.cacheHandle.Close()
+			l.cacheHandle = nil
+		}
+		h, err := l.cfg.Backend.Open(rec.name, true)
+		if err != nil {
+			return fmt.Errorf("%w: opening %q for drain: %v", core.EIO, rec.name, err)
+		}
+		l.cacheName, l.cacheHandle = rec.name, h
+	}
+	n, err := l.cacheHandle.WriteAt(buf, rec.off)
+	if err != nil {
+		return fmt.Errorf("%w: draining to %q: %v", core.EIO, rec.name, err)
+	}
+	if n < rec.n {
+		return fmt.Errorf("%w: short drain write (%d of %d bytes)", core.EIO, n, rec.n)
+	}
+	return nil
+}
+
+// fire invokes the crash hook if one is installed. Called with l.mu held;
+// the production hook never returns (SIGKILL), and test hooks are plain
+// functions, so holding the lock across the call is safe.
+func (l *Log) fire(point string) {
+	if l.cfg.Crash != nil {
+		l.cfg.Crash(point)
+	}
+}
+
+// Close stops appends, waits for the drainer to apply every queued record,
+// and releases the files. A fully drained log leaves an empty active
+// segment behind; recovery of an empty segment is a no-op.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	l.wg.Wait()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cacheHandle != nil {
+		_ = l.cacheHandle.Close()
+		l.cacheHandle = nil
+	}
+	var err error
+	if l.active != nil {
+		if l.active.size == 0 {
+			_ = l.active.f.Close()
+			if rerr := os.Remove(l.active.path); rerr != nil {
+				err = fmt.Errorf("%w: removing empty segment: %v", core.EIO, rerr)
+			}
+		} else {
+			// Shouldn't happen after a full drain, but if it does the
+			// segment stays for the next recovery rather than vanishing.
+			_ = l.active.f.Close()
+		}
+		l.active = nil
+	}
+	return err
+}
+
+// Stats is a point-in-time snapshot for tests and /statz.
+type Stats struct {
+	Appends   uint64
+	Drained   uint64
+	DrainErrs uint64
+	Replayed  uint64
+	Torn      uint64
+	Truncated uint64
+	Syncs     uint64
+	LiveBytes int64
+	Lag       int
+	Segments  int
+}
+
+// SnapshotStats returns current counters and occupancy.
+func (l *Log) SnapshotStats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Appends:   l.appends.Value(),
+		Drained:   l.drained.Value(),
+		DrainErrs: l.drainErrors.Value(),
+		Replayed:  l.replayed.Value(),
+		Torn:      l.torn.Value(),
+		Truncated: l.truncated.Value(),
+		Syncs:     l.syncs.Value(),
+		LiveBytes: l.liveBytes,
+		Lag:       len(l.queue),
+		Segments:  l.segmentsLocked(),
+	}
+}
+
+func (l *Log) segmentsLocked() int {
+	n := len(l.rotatedSegs)
+	if l.active != nil {
+		n++
+	}
+	return n
+}
+
+// Register exposes the log's instruments on reg under the iofwd_wal_*
+// families.
+func (l *Log) Register(reg *telemetry.Registry) {
+	reg.MustRegister("iofwd_wal_appends_total",
+		"Writes spilled to the WAL after BML admission timed out.", &l.appends)
+	reg.MustRegister("iofwd_wal_append_errors_total",
+		"WAL appends that failed (caller fell back to the sync path).", &l.appendErrors)
+	reg.MustRegister("iofwd_wal_replayed_total",
+		"Records replayed to the backend during startup recovery.", &l.replayed)
+	reg.MustRegister("iofwd_wal_replay_errors_total",
+		"Recovery records the backend rejected (segment kept on disk).", &l.replayErrors)
+	reg.MustRegister("iofwd_wal_torn_discarded_total",
+		"Torn segment tails discarded during recovery.", &l.torn)
+	reg.MustRegister("iofwd_wal_drained_total",
+		"Spilled records applied to the backend by the drainer.", &l.drained)
+	reg.MustRegister("iofwd_wal_drain_errors_total",
+		"Spilled records whose backend write failed (deferred error).", &l.drainErrors)
+	reg.MustRegister("iofwd_wal_truncated_segments_total",
+		"Segments truncated or removed after draining fully.", &l.truncated)
+	reg.MustRegister("iofwd_wal_syncs_total",
+		"fsyncs of the active segment.", &l.syncs)
+	reg.GaugeFunc("iofwd_wal_bytes",
+		"Bytes on disk awaiting drain.", func() int64 {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return l.liveBytes
+		})
+	reg.GaugeFunc("iofwd_wal_drain_lag_records",
+		"Appended records not yet applied to the backend.", func() int64 {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return int64(len(l.queue))
+		})
+	reg.GaugeFunc("iofwd_wal_segments",
+		"Live segment files (active + rotated awaiting drain).", func() int64 {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return int64(l.segmentsLocked())
+		})
+}
