@@ -23,6 +23,15 @@ var descSeq atomic.Uint64
 // complete() remains exactly-once regardless of execution interleaving — the
 // contract makes execution order deterministic, it is not load-bearing for
 // data placement.
+//
+// The spill tier is a second executor outside the shard, so it carries its
+// own serialization: while any of the descriptor's spilled records are
+// still live in the WAL (spillLive > 0 — appended but not yet released by
+// segment truncation), every subsequent write on the descriptor routes
+// through the WAL too, whose per-name FIFO preserves order both live and
+// across a crash replay. Only when the WAL refuses does the server wait
+// for the live records to be released (waitSpillReleased) before letting
+// the write reach the backend by the shard or sync path.
 type descriptor struct {
 	fd     uint64
 	sid    uint64 // scheduler shard ticket, from descSeq
@@ -36,11 +45,12 @@ type descriptor struct {
 	cursor    int64
 	opCounter uint64
 	inFlight  int
+	spillLive int // spilled records whose durable WAL copy is still live
 	completed uint64
 	pendErr   error
 	pendOp    uint64
 	closed    bool
-	idle      *sync.Cond // broadcast when inFlight drops to zero
+	idle      *sync.Cond // broadcast when inFlight or spillLive drops to zero
 }
 
 func newDescriptor(fd uint64, name string, h Handle) *descriptor {
@@ -109,6 +119,47 @@ func (d *descriptor) complete(op uint64, err error) {
 func (d *descriptor) drain() {
 	d.mu.Lock()
 	for d.inFlight > 0 {
+		d.idle.Wait()
+	}
+	d.mu.Unlock()
+}
+
+// spillStart records one record entering the spill tier; it stays counted
+// until the WAL releases its durable copy (spillRelease). Incremented
+// before Append so a release can never be observed before its start.
+func (d *descriptor) spillStart() {
+	d.mu.Lock()
+	d.spillLive++
+	d.mu.Unlock()
+}
+
+// spillRelease is the WAL's released callback (also used to undo a
+// spillStart when Append refuses the record).
+func (d *descriptor) spillRelease() {
+	d.mu.Lock()
+	d.spillLive--
+	if d.spillLive == 0 {
+		d.idle.Broadcast()
+	}
+	d.mu.Unlock()
+}
+
+// spillPending reports whether any of the descriptor's spilled records are
+// still live in the WAL — replayable by a crash recovery, so subsequent
+// writes must not reach the backend by another executor.
+func (d *descriptor) spillPending() bool {
+	d.mu.Lock()
+	p := d.spillLive > 0
+	d.mu.Unlock()
+	return p
+}
+
+// waitSpillReleased blocks until the WAL has released every one of the
+// descriptor's spilled records (applied, backend-flushed, and their
+// segments truncated).
+func (d *descriptor) waitSpillReleased() {
+	d.mu.Lock()
+	for d.spillLive > 0 {
 		d.idle.Wait()
 	}
 	d.mu.Unlock()

@@ -520,20 +520,36 @@ func (c *serverConn) handleWrite(h *header, start time.Time) error {
 	// registers with the descriptor's in-flight bookkeeping exactly like a
 	// staged op, so reads, fsync, and close drain it and its failure
 	// surfaces as a deferred error.
-	if !pooled && s.cfg.Mode == ModeAsync && s.cfg.Spill != nil {
+	//
+	// Ordering: the spill drainer is a second executor outside the
+	// descriptor's scheduler shard, so while any of the descriptor's
+	// spilled records are still live in the WAL (replayable by a crash
+	// recovery), subsequent writes — pooled or not — also route through
+	// the WAL: its per-name FIFO keeps two acknowledged writes to the same
+	// offset ordered, both live and across a restart replay.
+	if s.cfg.Mode == ModeAsync && s.cfg.Spill != nil && (!pooled || d.spillPending()) {
 		d.start()
-		serr := s.cfg.Spill.Append(d.name, off, buf, func(e error) { d.complete(opNum, e) })
+		d.spillStart()
+		serr := s.cfg.Spill.Append(d.name, off, buf,
+			func(e error) { d.complete(opNum, e) }, d.spillRelease)
 		if serr == nil {
 			m.spilled.Inc()
 			m.stageSpill.Observe(time.Since(recvd).Nanoseconds())
+			putBuf() // the spiller copied the payload into its frame
 			// Deferred flags are folded in only after the append landed, so
 			// a refused spill leaves the pending error for the fallback
 			// reply below to report.
 			flags, errno := deferredFlags(d)
 			return c.reply(h.reqID, flags|FlagStaged|FlagSpilled, errno, n, nil)
 		}
-		d.complete(opNum, nil) // undo start: the record never entered the log
+		d.spillRelease()       // undo spillStart: the record never entered the log
+		d.complete(opNum, nil) // undo start: ditto
 		m.spillRejects.Inc()
+		// Refused while older spilled records are still live: this write
+		// must not overtake them on the sync or staged path (a recovery
+		// replay could also undo it), so wait for the WAL to apply, flush,
+		// and truncate them first.
+		d.waitSpillReleased()
 	}
 
 	// A degraded (unpooled) write always executes synchronously: it must

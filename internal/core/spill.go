@@ -8,11 +8,20 @@ package core
 //
 // Append must either (a) return nil and later invoke done exactly once with
 // the terminal backend write's result, or (b) return a non-nil error and
-// never invoke done — in which case the server falls back to the
+// never invoke either callback — in which case the server falls back to the
 // synchronous degrade path. done may be called from another goroutine; the
 // server routes it into the descriptor's deferred-error bookkeeping, so
 // spilled writes report failures on a later operation exactly like staged
 // ones.
+//
+// released, when non-nil, is invoked at most once, strictly after done,
+// when the record's durable copy has left the log (its segment was
+// truncated after the backend was flushed). Until it fires, a crash
+// recovery could re-apply the record; the server therefore keeps routing
+// the descriptor's subsequent writes through the spill tier — whose
+// per-name FIFO keeps them ordered, both live and across a replay — rather
+// than racing them on another executor (see descriptor ordering contract
+// in descdb.go).
 type Spiller interface {
-	Append(name string, off int64, data []byte, done func(error)) error
+	Append(name string, off int64, data []byte, done func(error), released func()) error
 }

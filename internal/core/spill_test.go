@@ -17,19 +17,20 @@ type fakeSpill struct {
 }
 
 type spillRec struct {
-	name string
-	off  int64
-	data []byte
-	done func(error)
+	name     string
+	off      int64
+	data     []byte
+	done     func(error)
+	released func()
 }
 
-func (f *fakeSpill) Append(name string, off int64, data []byte, done func(error)) error {
+func (f *fakeSpill) Append(name string, off int64, data []byte, done func(error), released func()) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.refuse != nil {
 		return f.refuse
 	}
-	f.appends = append(f.appends, spillRec{name, off, append([]byte(nil), data...), done})
+	f.appends = append(f.appends, spillRec{name, off, append([]byte(nil), data...), done, released})
 	return nil
 }
 
@@ -141,6 +142,96 @@ func TestSpillRefusalFallsBackToDegrade(t *testing.T) {
 	// No spill completion is pending, so fsync returns immediately clean.
 	if err := f.Sync(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSpillOrderingSerializesWithWAL pins the descriptor ordering contract
+// across the spill tier's second executor: while any spilled record is
+// still live in the WAL (not yet released by segment truncation), a
+// subsequent write on the same descriptor must (a) route through the WAL
+// too, even when BML admission succeeds, and (b) if the WAL refuses it,
+// wait for the live records to be released before touching the backend by
+// the sync path — otherwise two acknowledged writes to one offset could be
+// applied inverted, or a crash replay could overwrite the newer one.
+func TestSpillOrderingSerializesWithWAL(t *testing.T) {
+	fs := &fakeSpill{}
+	cfg := Config{
+		Mode:       ModeAsync,
+		Workers:    1,
+		BMLBytes:   minBMLClass,
+		BMLTimeout: time.Millisecond,
+		Backend:    NewMemBackend(),
+		Spill:      fs,
+	}
+	c, s := pipePair(t, cfg)
+	f, err := c.Open("burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply := func(rec spillRec) {
+		h, err := s.cfg.Backend.Open(rec.name, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Close()
+		if _, err := h.WriteAt(rec.data, rec.off); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Write 1 misses admission (BML plugged) and spills.
+	plug := s.bml.Get(minBMLClass)
+	if _, err := f.WriteAt(bytes.Repeat([]byte{0xa1}, minBMLClass), 0); err != nil {
+		t.Fatal(err)
+	}
+	rec0 := fs.take(t, 0)
+
+	// Write 2 would be admitted (BML free again), but record 1 is still
+	// live in the WAL: it must route through the spiller, not the shard.
+	s.bml.Put(plug)
+	if _, err := f.WriteAt(bytes.Repeat([]byte{0xb2}, minBMLClass), 0); err != nil {
+		t.Fatal(err)
+	}
+	rec1 := fs.take(t, 1)
+	if st := s.Stats(); st.Spilled != 2 || st.StagedWrites != 0 {
+		t.Fatalf("stats: spilled=%d staged=%d, want 2/0", st.Spilled, st.StagedWrites)
+	}
+
+	// Write 3 is refused by the WAL while records 1 and 2 are still live:
+	// the fallback must wait for their release before writing through.
+	fs.mu.Lock()
+	fs.refuse = errors.New("wal full")
+	fs.mu.Unlock()
+	final := bytes.Repeat([]byte{0xc3}, minBMLClass)
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.WriteAt(final, 0)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("refused write completed (err=%v) while spilled records were live", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Drain the WAL: apply, report, release — in append order. Only after
+	// the last release may write 3 reach the backend.
+	for _, rec := range []spillRec{rec0, rec1} {
+		apply(rec)
+		rec.done(nil)
+		rec.released()
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("write after release: %v", err)
+	}
+	// Write 3 was admitted (pooled) after the wait, so it went down the
+	// staged path: drain it before inspecting the backend.
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.cfg.Backend.(*MemBackend).Bytes("burst")
+	if !ok || !bytes.Equal(got, final) {
+		t.Fatalf("backend holds stale bytes (ok=%v first=%#x), want the last write", ok, got[0])
 	}
 }
 

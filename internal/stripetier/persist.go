@@ -108,11 +108,19 @@ func loadJournal(path string) (map[repairKey]uint64, error) {
 
 // openJournal loads path, compacts it (rewriting only the live adds, so
 // startup drops the accumulated dels and any torn tail), and returns the
-// loaded set plus the journal open for appending.
-func openJournal(path string) (map[repairKey]uint64, *os.File, error) {
+// loaded set plus the journal open for appending. Entries whose member is
+// outside [0, nMembers) — a journal written under a larger tier — are
+// dropped before the compaction rewrite, so they neither linger on disk
+// across restarts nor enter the in-memory set they could never repair.
+func openJournal(path string, nMembers int) (map[repairKey]uint64, *os.File, error) {
 	set, err := loadJournal(path)
 	if err != nil {
 		return nil, nil, err
+	}
+	for k := range set {
+		if k.member >= nMembers {
+			delete(set, k)
+		}
 	}
 	f, err := rewriteJournal(path, set)
 	if err != nil {

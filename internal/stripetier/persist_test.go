@@ -166,7 +166,7 @@ func TestJournalCompactsOnLoad(t *testing.T) {
 	}
 	_ = f.Close()
 
-	set, jf, err := openJournal(path)
+	set, jf, err := openJournal(path, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,11 +207,24 @@ func TestJournalDropsOutOfBoundsMembers(t *testing.T) {
 
 	mems := []*core.MemBackend{core.NewMemBackend(), core.NewMemBackend()}
 	tier, _ := newPersistTier(t, path, mems)
-	defer tier.Close()
 	if tier.repair.isPending("obj", 0, 7) {
 		t.Fatal("out-of-bounds member survived the reload")
 	}
 	if !tier.repair.isPending("obj", 0, 1) {
 		t.Fatal("in-bounds entry dropped by the reload")
+	}
+	tier.Close()
+	// The entry is filtered before the compaction rewrite, so it must be
+	// gone from the on-disk journal too — not just the in-memory set —
+	// or it would linger across every restart.
+	reloaded, err := loadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reloaded[repairKey{name: "obj", stripe: 0, member: 7}]; ok {
+		t.Fatal("out-of-bounds entry survived the compaction rewrite on disk")
+	}
+	if _, ok := reloaded[repairKey{name: "obj", stripe: 0, member: 1}]; !ok {
+		t.Fatal("in-bounds entry missing from the compacted journal")
 	}
 }

@@ -61,16 +61,12 @@ func newRepairer(t *Tier, journalPath string) (*repairer, error) {
 		done:    make(chan struct{}),
 	}
 	if journalPath != "" {
-		set, f, err := openJournal(journalPath)
+		// openJournal drops entries out of bounds for the configured
+		// membership (a journal written under a larger tier) before its
+		// compaction rewrite, so they cannot persist on disk either.
+		set, f, err := openJournal(journalPath, len(t.members))
 		if err != nil {
 			return nil, err
-		}
-		// Entries that survive a restart must stay out of bounds for the
-		// configured membership (a journal written under a larger tier).
-		for k := range set {
-			if k.member >= len(t.members) {
-				delete(set, k)
-			}
 		}
 		r.pending = set
 		r.journal = f

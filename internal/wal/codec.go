@@ -39,10 +39,15 @@ import (
 // the scan.
 const frameHeader = 8
 
+// maxRecordHeader is the largest record header a frame can carry: type
+// byte, name length prefix, a maximum-length name, and the offset.
+const maxRecordHeader = 1 + 2 + (1<<16 - 1) + 8
+
 // MaxFramePayload bounds a single frame's payload: the protocol's largest
-// write plus record-header slack. A scanned length beyond it is garbage
-// (a torn length field), never a real frame.
-const MaxFramePayload = core.MaxPayload + 1<<16
+// write plus the worst-case record header. Append refuses anything larger,
+// so a scanned length beyond it is garbage (a torn length field), never a
+// real frame — nothing appendable is unscannable.
+const MaxFramePayload = core.MaxPayload + maxRecordHeader
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -78,8 +83,13 @@ func encodeFrame(parts ...[]byte) []byte {
 
 // AppendFrame writes one length-prefixed CRC32C frame holding payload to
 // w. It is exported so other journals (the stripetier pending-repair set)
-// can reuse the exact on-disk framing and recovery semantics.
+// can reuse the exact on-disk framing and recovery semantics. Payloads the
+// Scanner would reject as torn (empty or past MaxFramePayload) are refused
+// here, so an appended frame is always recoverable.
 func AppendFrame(w io.Writer, payload []byte) error {
+	if len(payload) == 0 || len(payload) > MaxFramePayload {
+		return fmt.Errorf("%w: unscannable frame payload length %d", core.EINVAL, len(payload))
+	}
 	if _, err := w.Write(encodeFrame(payload)); err != nil {
 		return fmt.Errorf("%w: appending frame: %v", core.EIO, err)
 	}

@@ -82,8 +82,9 @@ type RecoverStats struct {
 	Replayed int
 	// Torn is how many segments ended in a discarded torn tail.
 	Torn int
-	// Errors is how many records failed to apply (backend errors). Their
-	// segments are kept on disk for the next recovery pass.
+	// Errors is how many records failed to apply (backend errors), plus
+	// one per backend handle that failed to sync after a segment's replay.
+	// Affected segments are kept on disk for the next recovery pass.
 	Errors int
 }
 
@@ -91,13 +92,14 @@ type RecoverStats struct {
 // payload itself stays on disk (bounded memory is the point of spilling);
 // the drainer reads it back by position.
 type record struct {
-	seg     *segment
-	name    string
-	off     int64
-	dataPos int64 // absolute file offset of the write payload
-	n       int   // payload length
-	frame   int64 // whole frame length, for liveBytes accounting
-	done    func(error)
+	seg      *segment
+	name     string
+	off      int64
+	dataPos  int64 // absolute file offset of the write payload
+	n        int   // payload length
+	frame    int64 // whole frame length, for liveBytes accounting
+	done     func(error)
+	released func()
 }
 
 // segment is one on-disk WAL file.
@@ -108,6 +110,17 @@ type segment struct {
 	size    int64 // bytes of intact appended frames
 	pending int   // appended records not yet drained
 	rotated bool  // no longer the active segment
+	// unflushed marks an active segment whose records were all applied but
+	// whose pre-truncate backend flush failed: the applied bytes may not be
+	// durable, so the file must survive until a flush succeeds (or recovery
+	// re-applies it).
+	unflushed bool
+	// releases holds the drained records' release callbacks; they fire
+	// only when the segment's bytes durably leave the log (file removed or
+	// rewound after a successful backend flush). Until then the records
+	// remain replayable by recovery, so callers must keep treating them as
+	// live (see core.Spiller).
+	releases []func()
 }
 
 // Log is the write-ahead spill tier. Appends go to the active segment;
@@ -132,6 +145,11 @@ type Log struct {
 	// slot captures almost all reopens without a map that never shrinks.
 	cacheName   string
 	cacheHandle core.Handle
+	// syncDebt (drainer-only) names backends whose eviction-time Sync
+	// failed: their applied records are not yet durable, so no segment may
+	// be released until the debt is repaid by a successful sync (see
+	// syncBackendCache).
+	syncDebt map[string]struct{}
 
 	// Counters are value fields registered via MustRegister so the hot
 	// path never chases a pointer it doesn't already have.
@@ -205,6 +223,13 @@ func Open(cfg Config) (*Log, RecoverStats, error) {
 // older segment can only exist if the crash tore a write that was never
 // acknowledged, and replay is positional and idempotent either way). A
 // segment with backend apply errors is kept for the next recovery.
+//
+// A segment is removed only after the backend handles it wrote through are
+// fsynced — the same sync-before-truncate order the drainer follows — so a
+// power loss at any point during recovery can never lose an acknowledged
+// spill: either the segment is still on disk or its records are durable on
+// the backend. A sync failure keeps the segment (counted in Errors) rather
+// than failing Open.
 func (l *Log) recover() (RecoverStats, error) {
 	var stats RecoverStats
 	names, err := filepath.Glob(filepath.Join(l.cfg.Dir, segPrefix+"*"+segSuffix))
@@ -218,6 +243,7 @@ func (l *Log) recover() (RecoverStats, error) {
 			_ = h.Close()
 		}
 	}()
+	touched := make(map[string]struct{})
 	for _, path := range names {
 		base := filepath.Base(path)
 		idHex := strings.TrimSuffix(strings.TrimPrefix(base, segPrefix), segSuffix)
@@ -229,9 +255,20 @@ func (l *Log) recover() (RecoverStats, error) {
 			l.nextSeg = id + 1
 		}
 		stats.Segments++
-		clean, err := l.replaySegment(path, handles, &stats)
+		clear(touched)
+		clean, err := l.replaySegment(path, handles, touched, &stats)
 		if err != nil {
 			return stats, err
+		}
+		if clean {
+			for name := range touched {
+				if serr := handles[name].Sync(); serr != nil {
+					stats.Errors++
+					l.replayErrors.Inc()
+					clean = false
+					break
+				}
+			}
 		}
 		if clean {
 			if err := os.Remove(path); err != nil {
@@ -239,18 +276,14 @@ func (l *Log) recover() (RecoverStats, error) {
 			}
 		}
 	}
-	for name, h := range handles {
-		if err := h.Sync(); err != nil {
-			return stats, fmt.Errorf("%w: syncing %q after replay: %v", core.EIO, name, err)
-		}
-	}
 	return stats, nil
 }
 
-// replaySegment streams one segment's records into the backend. It reports
-// clean=true when every record in the file was applied successfully (the
-// file may then be deleted).
-func (l *Log) replaySegment(path string, handles map[string]core.Handle, stats *RecoverStats) (clean bool, err error) {
+// replaySegment streams one segment's records into the backend, adding
+// every name it writes through to touched. It reports clean=true when
+// every record in the file was applied successfully (the file may then be
+// deleted once the touched handles are synced).
+func (l *Log) replaySegment(path string, handles map[string]core.Handle, touched map[string]struct{}, stats *RecoverStats) (clean bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return false, fmt.Errorf("%w: opening segment: %v", core.EIO, err)
@@ -289,6 +322,7 @@ func (l *Log) replaySegment(path string, handles map[string]core.Handle, stats *
 			handles[name] = h
 		}
 		n, werr := h.WriteAt(data, off)
+		touched[name] = struct{}{}
 		if werr == nil && n < len(data) {
 			werr = fmt.Errorf("%w: short replay write (%d of %d bytes)", core.EIO, n, len(data))
 		}
@@ -321,17 +355,24 @@ func (l *Log) openActive() error {
 // is in the log (synced per policy). done is invoked exactly once from the
 // drainer with the backend write's result — nil on success, the wrapped
 // error otherwise — mirroring the deferred-error semantics of the staged
-// async path. If Append returns a non-nil error the record was NOT logged,
-// done will never be called, and the caller must fall back to its
-// non-spill path.
+// async path. released, when non-nil, is invoked at most once, strictly
+// after done, when the record's durable copy has left the log (its segment
+// was removed or rewound after a backend flush): until then the record
+// could be re-applied by a crash recovery, so the caller must not let a
+// conflicting write reach the backend by another path. If Append returns a
+// non-nil error the record was NOT logged, neither callback will ever be
+// called, and the caller must fall back to its non-spill path.
 //
 // Append implements core.Spiller.
-func (l *Log) Append(name string, off int64, data []byte, done func(error)) error {
+func (l *Log) Append(name string, off int64, data []byte, done func(error), released func()) error {
 	if name == "" || len(name) > 1<<16-1 {
 		return fmt.Errorf("%w: bad record name length %d", core.EINVAL, len(name))
 	}
 	if off < 0 {
 		return fmt.Errorf("%w: negative record offset", core.EINVAL)
+	}
+	if payload := recHeaderLen(name) + len(data); payload > MaxFramePayload {
+		return fmt.Errorf("%w: record payload %d exceeds frame limit %d", core.EINVAL, payload, MaxFramePayload)
 	}
 	frame := encodeFrame(encodeRecordHeader(name, off), data)
 
@@ -368,7 +409,7 @@ func (l *Log) Append(name string, off int64, data []byte, done func(error)) erro
 	l.queue = append(l.queue, record{
 		seg: seg, name: name, off: off,
 		dataPos: dataPos, n: len(data), frame: int64(len(frame)),
-		done: done,
+		done: done, released: released,
 	})
 	l.appends.Inc()
 	l.fire(CrashAfterAppend)
@@ -432,10 +473,19 @@ func (l *Log) rotateLocked() error {
 		}
 	}
 	seg.rotated = true
-	if seg.pending == 0 {
-		// Already fully drained: no truncate barrier needed, just drop it.
+	switch {
+	case seg.pending == 0 && !seg.unflushed:
+		// Already fully drained and flushed through to the backend: no
+		// truncate barrier needed, just drop it.
 		l.removeSegLocked(seg)
-	} else {
+	case seg.pending == 0:
+		// Drained, but the backend flush failed when the drainer tried to
+		// rewind it: the applied records may not be durable yet, so the
+		// file stays on disk for recovery (idempotent re-apply) and its
+		// release callbacks stay withheld.
+		l.drainErrors.Inc()
+		_ = seg.f.Close()
+	default:
 		l.rotatedSegs = append(l.rotatedSegs, seg)
 	}
 	return l.openActive()
@@ -443,7 +493,8 @@ func (l *Log) rotateLocked() error {
 
 // removeSegLocked closes and deletes a fully drained segment file. Removal
 // failure is not fatal — the records were all applied, and recovery would
-// only re-apply them idempotently — but it is counted.
+// only re-apply them idempotently — but it is counted, and the records'
+// release callbacks are withheld (the file could still be replayed).
 func (l *Log) removeSegLocked(seg *segment) {
 	l.fire(CrashBeforeTruncate)
 	_ = seg.f.Close()
@@ -453,6 +504,19 @@ func (l *Log) removeSegLocked(seg *segment) {
 	}
 	l.truncated.Inc()
 	l.fire(CrashAfterTruncate)
+	l.releaseSegLocked(seg)
+}
+
+// releaseSegLocked fires and clears the segment's accumulated release
+// callbacks, after its bytes have durably left the log. Callbacks are
+// plain bookkeeping on the caller's side (descriptor counters) — cheap and
+// non-blocking — so invoking them under l.mu is fine.
+func (l *Log) releaseSegLocked(seg *segment) {
+	rel := seg.releases
+	seg.releases = nil
+	for _, f := range rel {
+		f()
+	}
 }
 
 // drain is the background replay loop: pop the oldest record, read its
@@ -488,6 +552,11 @@ func (l *Log) drain() {
 		l.mu.Lock()
 		rec.seg.pending--
 		l.liveBytes -= rec.frame
+		if rec.released != nil {
+			// Queued for the segment's release barrier: the durable copy
+			// outlives the apply until the whole segment is truncated.
+			rec.seg.releases = append(rec.seg.releases, rec.released)
+		}
 		if rec.seg.pending == 0 {
 			// About to give up the segment — the records' only durable
 			// copy. Flush the backend first, so a crash immediately after
@@ -512,26 +581,47 @@ func (l *Log) drain() {
 			} else if flushed {
 				// Active segment fully drained: rewind it in place so a
 				// quiet log stays one small file.
+				rec.seg.unflushed = false
 				if err := rec.seg.f.Truncate(0); err == nil {
 					rec.seg.size = 0
 					l.truncated.Inc()
+					l.releaseSegLocked(rec.seg)
 				}
+			} else {
+				// Active segment drained but the backend flush failed: mark
+				// it so a later rotation keeps the file instead of dropping
+				// the records' only maybe-durable copy.
+				rec.seg.unflushed = true
 			}
 		}
 		l.mu.Unlock()
 	}
 }
 
-// syncBackendCache flushes the drainer's current backend handle. Called
-// before a drained segment is discarded; a handle evicted from the cache
-// was already synced at eviction, so between the two every applied record
-// is durable on the backend before its WAL copy goes away.
+// syncBackendCache flushes the drainer's current backend handle and repays
+// any outstanding sync debt (names whose eviction-time Sync failed, left
+// applied-but-unsynced). Called before a drained segment is discarded; it
+// must succeed for every name with applied records — current and evicted —
+// before any segment may be released, or a crash after the truncate could
+// lose an applied-but-unsynced record that no longer has a WAL copy.
 func (l *Log) syncBackendCache() error {
-	if l.cacheHandle == nil {
-		return nil
+	if l.cacheHandle != nil {
+		if err := l.cacheHandle.Sync(); err != nil {
+			return fmt.Errorf("%w: syncing backend before truncate: %v", core.EIO, err)
+		}
+		delete(l.syncDebt, l.cacheName)
 	}
-	if err := l.cacheHandle.Sync(); err != nil {
-		return fmt.Errorf("%w: syncing backend before truncate: %v", core.EIO, err)
+	for name := range l.syncDebt {
+		h, err := l.cfg.Backend.Open(name, true)
+		if err != nil {
+			return fmt.Errorf("%w: reopening %q to repay sync debt: %v", core.EIO, name, err)
+		}
+		serr := h.Sync()
+		_ = h.Close()
+		if serr != nil {
+			return fmt.Errorf("%w: syncing %q before truncate: %v", core.EIO, name, serr)
+		}
+		delete(l.syncDebt, name)
 	}
 	return nil
 }
@@ -547,11 +637,18 @@ func (l *Log) apply(rec record) error {
 	}
 	if l.cacheHandle == nil || l.cacheName != rec.name {
 		if l.cacheHandle != nil {
-			// Sync before eviction: see syncBackendCache. A failure here is
-			// counted but does not consume the record — its segment simply
-			// stays on disk if the pre-truncate flush also fails.
+			// Sync before eviction: see syncBackendCache. A failure is
+			// sticky — the name joins the sync debt, so no segment can be
+			// released until a later sync of that name succeeds. Without
+			// the debt, a segment holding several names' records could be
+			// deleted while the evicted name's applied writes are still
+			// unsynced, losing them on a crash.
 			if l.cacheHandle.Sync() != nil {
 				l.drainErrors.Inc()
+				if l.syncDebt == nil {
+					l.syncDebt = make(map[string]struct{})
+				}
+				l.syncDebt[l.cacheName] = struct{}{}
 			}
 			_ = l.cacheHandle.Close()
 			l.cacheHandle = nil

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
@@ -62,7 +64,7 @@ func TestAppendDrainApplies(t *testing.T) {
 	for i := 0; i < n; i++ {
 		p := pattern(i, 64)
 		want = append(want, p...)
-		if err := lg.Append("obj", int64(i*64), p, c.done); err != nil {
+		if err := lg.Append("obj", int64(i*64), p, c.done, nil); err != nil {
 			t.Fatalf("append %d: %v", i, err)
 		}
 	}
@@ -100,7 +102,7 @@ func TestSegmentRotationAndTruncate(t *testing.T) {
 	const n = 30
 	c := newCollect(n)
 	for i := 0; i < n; i++ {
-		if err := lg.Append("obj", int64(i*100), pattern(i, 100), c.done); err != nil {
+		if err := lg.Append("obj", int64(i*100), pattern(i, 100), c.done, nil); err != nil {
 			t.Fatalf("append %d: %v", i, err)
 		}
 	}
@@ -141,7 +143,7 @@ func TestSyncPolicies(t *testing.T) {
 			const n = 20
 			c := newCollect(n)
 			for i := 0; i < n; i++ {
-				if err := lg.Append("o", int64(i*8), pattern(i, 8), c.done); err != nil {
+				if err := lg.Append("o", int64(i*8), pattern(i, 8), c.done, nil); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -257,7 +259,7 @@ func TestDrainErrorReachesDone(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := newCollect(1)
-	if err := lg.Append("obj", 0, pattern(0, 16), c.done); err != nil {
+	if err := lg.Append("obj", 0, pattern(0, 16), c.done, nil); err != nil {
 		t.Fatal(err)
 	}
 	errs := c.wait(t, 1)
@@ -292,24 +294,199 @@ func TestRecoveryKeepsSegmentOnApplyError(t *testing.T) {
 	}
 }
 
+// syncTrackBackend wraps a backend, recording every handle Sync by name
+// and failing the ones whose name is marked. It drills the two
+// sync-before-truncate barriers: recovery's segment removal and the
+// drainer's eviction debt.
+type syncTrackBackend struct {
+	core.Backend
+	mu       sync.Mutex
+	failSync map[string]bool
+	syncs    []string
+}
+
+func (b *syncTrackBackend) setFail(name string, fail bool) {
+	b.mu.Lock()
+	if b.failSync == nil {
+		b.failSync = make(map[string]bool)
+	}
+	b.failSync[name] = fail
+	b.mu.Unlock()
+}
+
+func (b *syncTrackBackend) Open(name string, create bool) (core.Handle, error) {
+	h, err := b.Backend.Open(name, create)
+	if err != nil {
+		return nil, err
+	}
+	return &syncTrackHandle{Handle: h, b: b, name: name}, nil
+}
+
+type syncTrackHandle struct {
+	core.Handle
+	b    *syncTrackBackend
+	name string
+}
+
+func (h *syncTrackHandle) Sync() error {
+	h.b.mu.Lock()
+	h.b.syncs = append(h.b.syncs, h.name)
+	fail := h.b.failSync[h.name]
+	h.b.mu.Unlock()
+	if fail {
+		return fmt.Errorf("%w: injected sync failure", core.EIO)
+	}
+	return h.Handle.Sync()
+}
+
+// TestRecoveryKeepsSegmentOnSyncError: a replayed segment is removed only
+// after the backend handles it wrote through are fsynced. When the sync
+// fails the segment must survive (its records may not be durable) and Open
+// must still succeed — a healed backend drains it on the next recovery.
+func TestRecoveryKeepsSegmentOnSyncError(t *testing.T) {
+	dir := t.TempDir()
+	frame := encodeFrame(encodeRecordHeader("obj", 0), pattern(0, 16))
+	if err := os.WriteFile(filepath.Join(dir, segName(0)), frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	be := &syncTrackBackend{Backend: core.NewMemBackend()}
+	be.setFail("obj", true)
+	lg, stats, err := Open(Config{Dir: dir, Backend: be})
+	if err != nil {
+		t.Fatalf("Open failed on a backend sync error: %v", err)
+	}
+	if stats.Replayed != 1 || stats.Errors != 1 {
+		t.Fatalf("recover stats: %+v, want Replayed=1 Errors=1", stats)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(0))); err != nil {
+		t.Fatalf("segment removed before its backend writes were synced: %v", err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	be.setFail("obj", false)
+	lg2, stats2, err := Open(Config{Dir: dir, Backend: be})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg2.Close()
+	if stats2.Replayed != 1 || stats2.Errors != 0 {
+		t.Fatalf("healed recover stats: %+v, want Replayed=1 Errors=0", stats2)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(0))); !os.IsNotExist(err) {
+		t.Fatalf("segment not removed after a successful sync: %v", err)
+	}
+}
+
+// TestEvictionSyncDebtBlocksTruncate: when the drainer evicts its cached
+// backend handle and that handle's Sync fails, the failure must be sticky —
+// no segment holding that name's records may be released until a sync
+// succeeds, or a crash could lose the applied-but-unsynced writes.
+func TestEvictionSyncDebtBlocksTruncate(t *testing.T) {
+	be := &syncTrackBackend{Backend: core.NewMemBackend()}
+	be.setFail("a", true)
+	lg, _, err := Open(Config{Dir: t.TempDir(), Backend: be, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relCh := make(chan string, 3)
+	c := newCollect(3)
+	// Record for "a", then "b": applying b evicts a's handle, whose Sync
+	// fails. The segment then holds both names' records.
+	if err := lg.Append("a", 0, pattern(0, 16), c.done, func() { relCh <- "a" }); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Append("b", 0, pattern(1, 16), c.done, func() { relCh <- "b" }); err != nil {
+		t.Fatal(err)
+	}
+	c.wait(t, 2)
+	// Both records applied, but "a"'s sync debt is outstanding: the
+	// segment must not be released.
+	select {
+	case name := <-relCh:
+		t.Fatalf("record %q released while %q's applied writes were unsynced", name, "a")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if s := lg.SnapshotStats(); s.Truncated != 0 {
+		t.Fatalf("segment truncated with sync debt outstanding: %+v", s)
+	}
+
+	// Heal the backend; the next drained record repays the debt and the
+	// whole segment finally truncates, releasing all three records.
+	be.setFail("a", false)
+	if err := lg.Append("b", 16, pattern(2, 16), c.done, func() { relCh <- "b2" }); err != nil {
+		t.Fatal(err)
+	}
+	c.wait(t, 1)
+	for i := 0; i < 3; i++ {
+		<-relCh
+	}
+	if s := lg.SnapshotStats(); s.Truncated == 0 {
+		t.Fatalf("segment never truncated after the debt was repaid: %+v", s)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxFrameCoversWorstCaseRecord: every record Append accepts must scan
+// back — the frame payload bound covers the protocol's largest write under
+// the longest possible name, and anything larger is refused up front
+// instead of being acknowledged and then discarded as a torn length.
+func TestMaxFrameCoversWorstCaseRecord(t *testing.T) {
+	maxName := strings.Repeat("n", 1<<16-1)
+	if worst := recHeaderLen(maxName) + core.MaxPayload; worst > MaxFramePayload {
+		t.Fatalf("worst-case record payload %d exceeds MaxFramePayload %d", worst, MaxFramePayload)
+	}
+	// A max-length-name record round-trips through the scanner.
+	var buf bytes.Buffer
+	data := pattern(3, 64)
+	if err := AppendFrame(&buf, append(encodeRecordHeader(maxName, 7), data...)); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := NewScanner(&buf).Next()
+	if err != nil {
+		t.Fatalf("scanning max-name frame: %v", err)
+	}
+	name, off, got, err := decodeRecord(payload)
+	if err != nil || name != maxName || off != 7 || !bytes.Equal(got, data) {
+		t.Fatalf("max-name record mangled: name len %d off %d err %v", len(name), off, err)
+	}
+	// An oversized record is rejected at Append, never logged.
+	lg, _, err := Open(Config{Dir: t.TempDir(), Backend: core.NewMemBackend(), Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	over := make([]byte, core.MaxPayload+maxRecordHeader)
+	if err := lg.Append(maxName, 0, over, nil, nil); !errors.Is(err, core.EINVAL) {
+		t.Fatalf("oversized append: %v, want EINVAL", err)
+	}
+	// AppendFrame refuses payloads the scanner would reject as torn.
+	if err := AppendFrame(&buf, nil); !errors.Is(err, core.EINVAL) {
+		t.Fatalf("empty frame payload: %v, want EINVAL", err)
+	}
+}
+
 func TestAppendLimits(t *testing.T) {
 	lg, _, err := Open(Config{Dir: t.TempDir(), Backend: core.NewMemBackend(), MaxBytes: 128, Sync: SyncNever})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := lg.Append("obj", 0, make([]byte, 1024), nil); !errors.Is(err, ErrFull) {
+	if err := lg.Append("obj", 0, make([]byte, 1024), nil, nil); !errors.Is(err, ErrFull) {
 		t.Fatalf("over-cap append: %v, want ErrFull", err)
 	}
-	if err := lg.Append("", 0, nil, nil); !errors.Is(err, core.EINVAL) {
+	if err := lg.Append("", 0, nil, nil, nil); !errors.Is(err, core.EINVAL) {
 		t.Fatalf("empty-name append: %v, want EINVAL", err)
 	}
-	if err := lg.Append("obj", -1, nil, nil); !errors.Is(err, core.EINVAL) {
+	if err := lg.Append("obj", -1, nil, nil, nil); !errors.Is(err, core.EINVAL) {
 		t.Fatalf("negative-offset append: %v, want EINVAL", err)
 	}
 	if err := lg.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := lg.Append("obj", 0, pattern(0, 8), nil); !errors.Is(err, ErrClosed) {
+	if err := lg.Append("obj", 0, pattern(0, 8), nil, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("append after close: %v, want ErrClosed", err)
 	}
 }
@@ -323,7 +500,7 @@ func TestCloseDrainsFully(t *testing.T) {
 	const n = 200
 	c := newCollect(n)
 	for i := 0; i < n; i++ {
-		if err := lg.Append("obj", int64(i*16), pattern(i, 16), c.done); err != nil {
+		if err := lg.Append("obj", int64(i*16), pattern(i, 16), c.done, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -354,11 +531,11 @@ func TestCrashHookFiresInOrder(t *testing.T) {
 	c := newCollect(2)
 	// Two appends big enough to force a rotation between them; the crash
 	// hook runs under l.mu, so the recorded order is the real op order.
-	if err := lg.Append("o", 0, pattern(0, 48), c.done); err != nil {
+	if err := lg.Append("o", 0, pattern(0, 48), c.done, nil); err != nil {
 		t.Fatal(err)
 	}
 	c.wait(t, 1)
-	if err := lg.Append("o", 48, pattern(1, 48), c.done); err != nil {
+	if err := lg.Append("o", 48, pattern(1, 48), c.done, nil); err != nil {
 		t.Fatal(err)
 	}
 	c.wait(t, 1)
