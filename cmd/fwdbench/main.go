@@ -27,6 +27,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -50,6 +52,10 @@ var progress struct {
 	deferred    telemetry.Counter
 	verifyFails telemetry.Counter
 }
+
+// statsClient is the fleet representative (client 0) the reporter samples
+// for congestion-window and RTT-estimator state.
+var statsClient atomic.Pointer[core.Client]
 
 // fillPattern writes client c's iteration i payload: a deterministic byte
 // string every reader can recompute, so -readback catches data served from
@@ -74,11 +80,18 @@ func report(interval time.Duration, start time.Time, stop <-chan struct{}) {
 		case now := <-tick.C:
 			b, o := progress.bytes.Value(), progress.ops.Value()
 			dt := now.Sub(last).Seconds()
+			var cong string
+			if cl := statsClient.Load(); cl != nil {
+				if s := cl.Stats(); s.Cwnd > 0 {
+					cong = fmt.Sprintf(" cwnd=%-4.1f srtt=%-9v coalesced=%d", s.Cwnd,
+						s.SRTT.Round(10*time.Microsecond), s.CoalescedWrites)
+				}
+			}
 			fmt.Fprintf(os.Stderr,
-				"t=%5.1fs ops=%-8d +%-6d errs=%-5d %7.1f MiB/s (interval)  %7.1f MiB/s (cumulative)\n",
+				"t=%5.1fs ops=%-8d +%-6d errs=%-5d %7.1f MiB/s (interval)  %7.1f MiB/s (cumulative)%s\n",
 				now.Sub(start).Seconds(), o, o-lastOps, progress.errs.Value(),
 				float64(b-lastBytes)/dt/(1<<20),
-				float64(b)/now.Sub(start).Seconds()/(1<<20))
+				float64(b)/now.Sub(start).Seconds()/(1<<20), cong)
 			lastBytes, lastOps, last = b, o, now
 		}
 	}
@@ -116,6 +129,9 @@ func main() {
 	reconnect := flag.Int("reconnect", 0, "max redial attempts per connection outage (0 disables failover)")
 	dropEvery := flag.Duration("drop-every", 0, "inject a connection drop on every client at this interval (chaos; needs -reconnect)")
 	seed := flag.Int64("seed", 1, "jitter/backoff RNG seed (reproducible chaos runs)")
+	window := flag.Int("window", 0, "adaptive AIMD in-flight window ceiling per client (0 disables congestion control)")
+	coalesce := flag.Bool("coalesce", false, "merge adjacent positional writes into single wire ops when the window is full (needs -window)")
+	linger := flag.Duration("linger", 0, "coalescing linger: how long an open merge buffer waits for neighbors (0 takes the library default)")
 	noSync := flag.Bool("nosync", false, "skip the final fsync after the write loop, so the reported number is pure acknowledged-burst bandwidth (what a WAL spill tier absorbs) instead of drain-inclusive throughput")
 	metricsAddr := flag.String("metrics", "", "serve client-side fault counters on this address (/metrics, /statz); empty disables")
 	flag.Parse()
@@ -139,32 +155,51 @@ func main() {
 	if *reportEvery > 0 {
 		go report(*reportEvery, start, stop)
 	}
-	var sharedOpts []core.Option
-	if *deadline > 0 {
-		sharedOpts = append(sharedOpts, core.WithTimeout(*deadline))
+	base := core.ClientConfig{
+		Timeout:           *deadline,
+		MaxRetries:        *retries,
+		ReconnectAttempts: *reconnect,
+		Window:            core.WindowConfig{Max: *window},
 	}
-	if *retries > 0 {
-		sharedOpts = append(sharedOpts, core.WithRetry(*retries, 0, 0))
+	if *coalesce {
+		if *window <= 0 {
+			log.Fatal("fwdbench: -coalesce needs -window > 0 (merging keys off a full window)")
+		}
+		// Size the merge buffer to hold several messages, so coalescing has
+		// something to merge even at large -msg sizes.
+		cb := core.DefaultCoalesceBytes
+		if m := 8 * *msg; m > cb {
+			cb = m
+		}
+		if cb > core.MaxPayload {
+			cb = core.MaxPayload
+		}
+		base.Coalesce = core.CoalesceConfig{MaxBytes: cb, Linger: *linger}
 	}
-	if *reconnect > 0 {
-		sharedOpts = append(sharedOpts, core.WithReconnect(*reconnect))
+	if err := base.Validate(); err != nil {
+		log.Fatalf("fwdbench: %v", err)
 	}
+	ctx := context.Background()
 	for c := 0; c < *clients; c++ {
 		c := c
-		opts := append([]core.Option{core.WithSeed(*seed + int64(c))}, sharedOpts...)
+		cfg := base
+		cfg.Seed = *seed + int64(c)
 		if c == 0 {
 			// One client carries the registry: registered once, sampled as
 			// a representative of the fleet.
-			opts = append(opts, core.WithMetrics(reg))
+			cfg.Metrics = reg
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cl, err := core.Dial("tcp", *addr, opts...)
+			cl, err := cfg.Dial(ctx, "tcp", *addr)
 			if err != nil {
 				log.Fatalf("client %d: %v", c, err)
 			}
 			defer cl.Close()
+			if c == 0 {
+				statsClient.Store(cl)
+			}
 			if *dropEvery > 0 {
 				chaosStop := make(chan struct{})
 				defer close(chaosStop)
@@ -181,7 +216,7 @@ func main() {
 					}
 				}()
 			}
-			f, err := cl.Open(fmt.Sprintf("bench/client%04d", c))
+			f, err := cl.Open(ctx, fmt.Sprintf("bench/client%04d", c))
 			if err != nil {
 				log.Printf("client %d open: %v", c, err)
 				progress.errs.Inc()
@@ -265,6 +300,13 @@ func main() {
 		*clients, *iters, op, *msg,
 		float64(total)/elapsed.Seconds()/(1<<20), elapsed.Seconds(),
 		progress.ops.Value(), progress.errs.Value(), progress.deferred.Value())
+	if cl := statsClient.Load(); cl != nil {
+		if s := cl.Stats(); s.Cwnd > 0 {
+			fmt.Printf("congestion (client 0): cwnd=%.1f srtt=%v rttvar=%v decreases=%d retries=%d coalesced=%d\n",
+				s.Cwnd, s.SRTT.Round(10*time.Microsecond), s.RTTVar.Round(10*time.Microsecond),
+				s.CwndDecreases, s.Retries, s.CoalescedWrites)
+		}
+	}
 	if *readback {
 		fails := progress.verifyFails.Value()
 		fmt.Printf("readback: %d mismatches\n", fails)

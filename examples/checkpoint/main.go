@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -57,7 +58,7 @@ func run(mode core.Mode) time.Duration {
 				log.Fatal(err)
 			}
 			defer c.Close()
-			f, err := c.Open(fmt.Sprintf("ckpt/rank%03d.dat", r))
+			f, err := c.Open(context.Background(), fmt.Sprintf("ckpt/rank%03d.dat", r))
 			if err != nil {
 				log.Fatal(err)
 			}

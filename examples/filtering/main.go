@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
@@ -49,7 +50,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer client.Close()
-	f, err := client.Open("field/temperature")
+	f, err := client.Open(context.Background(), "field/temperature")
 	if err != nil {
 		log.Fatal(err)
 	}

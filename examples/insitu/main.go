@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -56,7 +57,7 @@ func run(mode core.Mode) (time.Duration, float64) {
 				log.Fatal(err)
 			}
 			defer c.Close()
-			stream, err := c.Open(fmt.Sprintf("stream/producer%02d", pr))
+			stream, err := c.Open(context.Background(), fmt.Sprintf("stream/producer%02d", pr))
 			if err != nil {
 				log.Fatal(err)
 			}

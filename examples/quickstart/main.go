@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -34,14 +35,17 @@ func main() {
 	go func() { _ = srv.Serve(l) }()
 	defer srv.Close()
 
-	// The compute-node side: every I/O call ships to the server.
-	client, err := core.Dial("tcp", l.Addr().String())
+	// The compute-node side: every I/O call ships to the server. The zero
+	// ClientConfig reproduces the plain, non-resilient client; see the
+	// congestion-control example fields on core.ClientConfig.
+	ctx := context.Background()
+	client, err := core.ClientConfig{}.Dial(ctx, "tcp", l.Addr().String())
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
 
-	f, err := client.Open("results/checkpoint-000.dat")
+	f, err := client.Open(ctx, "results/checkpoint-000.dat")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -82,6 +82,7 @@ func Analyzers() []*Analyzer {
 		NewErrnowrap(),
 		NewOpexhaustive(),
 		NewGoroleak(),
+		NewCtxpropagate(),
 	}
 }
 

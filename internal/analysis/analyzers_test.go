@@ -32,6 +32,10 @@ func TestGoroleakFixture(t *testing.T) {
 	analysistest.Run(t, analysis.NewGoroleak, "goroleak")
 }
 
+func TestCtxpropagateFixture(t *testing.T) {
+	analysistest.Run(t, analysis.NewCtxpropagate, "ctxpropagate")
+}
+
 // TestSuiteCleanOnRepo is the revert guard: the committed tree must be
 // free of findings. Reintroducing global math/rand in internal/sim, a
 // blocking op under a core lock, a malformed metric name, an unwrapped
@@ -88,6 +92,10 @@ func TestScopes(t *testing.T) {
 		{"goroleak", "repro/internal/wal", true}, // the drainer must be WaitGroup-joined by Close
 		{"goroleak", "repro/internal/telemetry", false},
 		{"goroleak", "repro/internal/sim", false}, // sim procs are engine-joined, not WaitGroup-joined
+
+		{"ctxpropagate", "repro/internal/core", true},        // the public client surface is ctx-aware
+		{"ctxpropagate", "repro/internal/core/fault", false}, // chaos backends follow core.Backend, not the client API
+		{"ctxpropagate", "repro/internal/sim", false},        // sim blocking is engine-scheduled
 	}
 	for _, c := range cases {
 		scope := byName[c.analyzer]

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewCtxpropagate returns the ctxpropagate analyzer: internal/core's public
+// surface is the compute-node API, and since the client redesign every
+// potentially-blocking entry point takes a context.Context (PR 8). This
+// analyzer keeps that property from eroding, in both directions:
+//
+//   - An exported function or method of an exported type that contains a
+//     directly blocking operation — channel send/receive, range over a
+//     channel, select without default, time.Sleep, sync.WaitGroup.Wait,
+//     sync.Cond.Wait — must accept a context.Context, so callers can bound
+//     or cancel the wait. Close is exempt (the io.Closer contract has no
+//     ctx, and shutdown must run unconditionally); deliberate exceptions
+//     carry a //lint:allow ctxpropagate <reason> at the blocking site.
+//   - A function that *has* a ctx parameter must not synthesize a fresh
+//     context.Background()/context.TODO() inside its body: that silently
+//     severs the caller's cancellation chain. Ctx-less convenience
+//     wrappers (File.WriteAt delegating to WriteAtCtx) are fine — they
+//     have no ctx parameter, so the severed chain is the caller's explicit
+//     choice, visible in the signature.
+//
+// The check is syntactic and direct: blocking operations inside nested
+// function literals belong to the goroutine that runs them, not to this
+// entry point, and are skipped.
+func NewCtxpropagate() *Analyzer {
+	return &Analyzer{
+		Name:  "ctxpropagate",
+		Doc:   "blocking exported core entry points must take a context.Context; ctx-taking functions must not synthesize context.Background/TODO",
+		Scope: func(path string) bool { return path == "repro/internal/core" },
+		Run:   runCtxpropagate,
+	}
+}
+
+func runCtxpropagate(pass *Pass) error {
+	if pass.Info == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasCtxParam(pass, fd) {
+				checkNoFreshCtx(pass, fd)
+				continue
+			}
+			if !publicEntryPoint(fd) || fd.Name.Name == "Close" {
+				continue
+			}
+			reportDirectBlocking(pass, fd)
+		}
+	}
+	return nil
+}
+
+// hasCtxParam reports whether fd declares a context.Context parameter.
+func hasCtxParam(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := pass.Info.Types[field.Type]; ok && tv.Type != nil {
+			if named, ok := tv.Type.(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// publicEntryPoint reports whether fd is part of the package's exported
+// surface: an exported function, or an exported method on an exported type.
+func publicEntryPoint(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	return ast.IsExported(recvTypeName(fd.Recv.List[0].Type))
+}
+
+// recvTypeName unwraps a receiver type expression to its type name.
+func recvTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.IndexExpr:
+		return recvTypeName(e.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(e.X)
+	}
+	return ""
+}
+
+// checkNoFreshCtx flags context.Background()/context.TODO() inside a
+// function that already receives a ctx.
+func checkNoFreshCtx(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calledFunc(pass, call)
+		if fn == nil {
+			return true
+		}
+		switch fn.FullName() {
+		case "context.Background", "context.TODO":
+			pass.Reportf(call.Pos(),
+				"%s receives a context.Context but synthesizes %s here, severing the caller's cancellation chain; pass the ctx down (or //lint:allow ctxpropagate <reason>)",
+				fd.Name.Name, fn.Name())
+		}
+		return true
+	})
+}
+
+// reportDirectBlocking flags blocking operations in the direct body of a
+// ctx-less exported entry point. Nested function literals run on other
+// goroutines (or are themselves closures with their own contracts) and are
+// skipped.
+func reportDirectBlocking(pass *Pass, fd *ast.FuncDecl) {
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos,
+			"exported %s blocks on %s but takes no context.Context; callers cannot cancel or bound the wait (add a ctx parameter or //lint:allow ctxpropagate <reason>)",
+			fd.Name.Name, what)
+	}
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			report(n.Pos(), "a channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(n.Pos(), "a channel receive")
+			}
+		case *ast.SelectStmt:
+			// The select statement is the blocking construct; the channel
+			// operations in its comm clauses belong to it, whether or not a
+			// default makes it non-blocking. Only the clause bodies are
+			// walked for further blocking operations.
+			if !selectHasDefault(n) {
+				report(n.Pos(), "a select without default")
+			}
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					for _, stmt := range cc.Body {
+						ast.Inspect(stmt, visit)
+					}
+				}
+			}
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					report(n.Pos(), "a range over a channel")
+				}
+			}
+		case *ast.CallExpr:
+			fn := calledFunc(pass, n)
+			if fn == nil {
+				return true
+			}
+			switch fn.FullName() {
+			case "time.Sleep":
+				report(n.Pos(), "time.Sleep")
+			case "(*sync.WaitGroup).Wait":
+				report(n.Pos(), "sync.WaitGroup.Wait")
+			case "(*sync.Cond).Wait":
+				report(n.Pos(), "sync.Cond.Wait")
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, visit)
+}
+
+// selectHasDefault reports whether the select statement has a default
+// clause (making it non-blocking).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+// Package a is the ctxpropagate fixture: blocking exported entry points
+// must take a context.Context, and ctx-taking functions must not sever the
+// caller's cancellation chain with a fresh Background/TODO context.
+package a
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Pool mimics an exported core type with blocking entry points.
+type Pool struct {
+	ch   chan int
+	wg   sync.WaitGroup
+	cond *sync.Cond
+}
+
+// Get blocks on a receive with no ctx: flagged.
+func (p *Pool) Get() int {
+	return <-p.ch // want "exported Get blocks on a channel receive but takes no context.Context"
+}
+
+// Put blocks on a send with no ctx: flagged.
+func (p *Pool) Put(v int) {
+	p.ch <- v // want "exported Put blocks on a channel send but takes no context.Context"
+}
+
+// Drain ranges over a channel with no ctx: flagged.
+func (p *Pool) Drain() {
+	for range p.ch { // want "exported Drain blocks on a range over a channel but takes no context.Context"
+	}
+}
+
+// Join waits on a WaitGroup with no ctx: flagged.
+func (p *Pool) Join() {
+	p.wg.Wait() // want "exported Join blocks on sync.WaitGroup.Wait but takes no context.Context"
+}
+
+// Settle sleeps and selects with no ctx: both sites flagged.
+func (p *Pool) Settle(stop chan struct{}) {
+	time.Sleep(time.Millisecond) // want "exported Settle blocks on time.Sleep but takes no context.Context"
+	select {                     // want "exported Settle blocks on a select without default but takes no context.Context"
+	case <-p.ch:
+	case <-stop:
+	}
+}
+
+// GetCtx is the compliant shape: same wait, caller-cancelable.
+func (p *Pool) GetCtx(ctx context.Context) (int, error) {
+	select {
+	case v := <-p.ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// GetDefault delegates with Background and has no ctx parameter: the
+// severed chain is visible in the signature, so the wrapper is clean.
+func (p *Pool) GetDefault() (int, error) {
+	return p.GetCtx(context.Background())
+}
+
+// Close is exempt by name: shutdown runs unconditionally.
+func (p *Pool) Close() error {
+	p.wg.Wait()
+	return nil
+}
+
+// TrySteal's select has a default, so it never blocks: clean.
+func (p *Pool) TrySteal() (int, bool) {
+	select {
+	case v := <-p.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Spawn only blocks inside a function literal run by another goroutine:
+// the entry point itself is clean.
+func (p *Pool) Spawn() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		<-p.ch
+	}()
+}
+
+// get is unexported: internal plumbing may block.
+func (p *Pool) get() int {
+	return <-p.ch
+}
+
+// pool is an unexported type: its exported-looking methods are not public
+// surface.
+type pool struct{ ch chan int }
+
+// Get on an unexported receiver: clean.
+func (p *pool) Get() int {
+	return <-p.ch
+}
+
+// Forward receives a ctx and drops it on the floor: flagged.
+func (p *Pool) Forward(ctx context.Context) (int, error) {
+	return p.GetCtx(context.Background()) // want "Forward receives a context.Context but synthesizes Background here"
+}
+
+// Probe blocks deliberately without a ctx and says why: suppressed.
+func (p *Pool) Probe() int {
+	//lint:allow ctxpropagate fixture: bounded by the pool's own shutdown, not caller contexts
+	return <-p.ch
+}

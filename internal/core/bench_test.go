@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -78,7 +79,7 @@ func benchWrites(b *testing.B, mode Mode, clients int, msg int, backend Backend)
 			b.Fatal(err)
 		}
 		cls[i] = c
-		f, err := c.Open(fmt.Sprintf("bench%d", i))
+		f, err := c.Open(context.Background(), fmt.Sprintf("bench%d", i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -161,7 +162,7 @@ func BenchmarkReadPath(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer c.Close()
-	f, err := c.Open("r")
+	f, err := c.Open(context.Background(), "r")
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -139,6 +139,7 @@ func (b *BML) GetTimeout(n int, d time.Duration) ([]byte, bool) {
 			ch := b.waitc
 			b.waiters++
 			b.mu.Unlock()
+			//lint:allow ctxpropagate server-side staging admission: the wait is bounded by this method's own timeout argument (Config.BMLTimeout), not by client contexts, which end at the wire
 			select {
 			case <-ch:
 				b.mu.Lock()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -65,7 +66,7 @@ func TestReadErrorReturnsLeasedFrame(t *testing.T) {
 				Workers: 2,
 				Backend: &readFailBackend{inner: NewMemBackend()},
 			})
-			f, err := c.Open("obj")
+			f, err := c.Open(context.Background(), "obj")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -95,7 +96,7 @@ func TestReadPanicReturnsLeasedFrame(t *testing.T) {
 		Mode:    ModeDirect,
 		Backend: &readFailBackend{inner: NewMemBackend(), doPanic: true},
 	})
-	f, err := c.Open("obj")
+	f, err := c.Open(context.Background(), "obj")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -76,7 +77,7 @@ func TestChaosEndToEnd(t *testing.T) {
 				return
 			}
 			defer cl.Close()
-			f, err := cl.Open(fmt.Sprintf("chaos/%d", c))
+			f, err := cl.Open(context.Background(), fmt.Sprintf("chaos/%d", c))
 			if err != nil {
 				t.Errorf("client %d open: %v", c, err)
 				return
@@ -195,7 +196,7 @@ func TestChaosServerShutdownUnderTraffic(t *testing.T) {
 				return // raced the listener teardown
 			}
 			defer cl.Close()
-			f, err := cl.Open(fmt.Sprintf("shutdown/%d", c))
+			f, err := cl.Open(context.Background(), fmt.Sprintf("shutdown/%d", c))
 			if err != nil {
 				return
 			}

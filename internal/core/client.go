@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -16,15 +18,24 @@ import (
 // Client multiplexes concurrent requests from many goroutines over one
 // connection.
 //
-// With options the Client is fault-tolerant: WithTimeout bounds every
-// operation, WithRetry retries operations the server shed with EAGAIN, and
-// WithReconnect/WithRedial re-establish a failed transport with exponential
-// backoff plus jitter, re-open the descriptors that were open, and replay
-// idempotent in-flight operations (Pread/Pwrite/Stat, keyed by request id).
-// Non-idempotent in-flight operations fail fast with ErrConnectionLost.
+// A configured Client (see ClientConfig) is fault-tolerant and adaptive:
+// Timeout bounds every operation, MaxRetries retries operations the server
+// shed with EAGAIN, ReconnectAttempts re-establishes a failed transport
+// with exponential backoff plus jitter (re-opening descriptors and
+// replaying idempotent in-flight operations; non-idempotent ones fail fast
+// with ErrConnectionLost), Window gates admission through an AIMD
+// congestion window fed by an EWMA RTT estimator, and Coalesce merges
+// adjacent positional writes into single wire operations when the window
+// is full. Every public operation takes a context.Context; cancellation
+// and deadlines propagate to admission waits, reconnect parks, retry
+// backoffs, and response waits.
 type Client struct {
-	opts clientOptions
-	met  clientMetrics
+	cfg ClientConfig // normalized
+	met clientMetrics
+
+	cg     *congestion // nil: congestion control disabled (legacy admission)
+	coal   *coalescer  // nil: write coalescing disabled
+	coalWG sync.WaitGroup
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -52,15 +63,21 @@ type openFile struct {
 }
 
 // pendingCall is one in-flight request. The original arguments are retained
-// so idempotent calls can be replayed verbatim on a new connection.
+// so idempotent calls can be replayed verbatim on a new connection. sentAt
+// timestamps the first transmission for the RTT estimator and the
+// congestion epoch filter; replayed marks calls re-sent after a failover,
+// whose round trips straddle a reconnect and must not feed the estimator
+// (Karn's algorithm).
 type pendingCall struct {
-	ch      chan callResult
-	op      Op
-	fd      uint64 // client-visible fd
-	offset  uint64
-	length  uint32
-	path    string
-	payload []byte
+	ch       chan callResult
+	op       Op
+	fd       uint64 // client-visible fd
+	offset   uint64
+	length   uint32
+	path     string
+	payload  []byte
+	sentAt   time.Time
+	replayed bool // written under Client.mu; read after receiving on ch
 }
 
 type callResult struct {
@@ -75,27 +92,19 @@ type response struct {
 	payload []byte
 }
 
-// clientOptions collects the tunables; the zero value reproduces the
-// original non-resilient client exactly.
-type clientOptions struct {
-	timeout           time.Duration
-	maxRetries        int
-	retryBase         time.Duration
-	retryMax          time.Duration
-	redial            func() (net.Conn, error)
-	reconnectAttempts int
-	seed              int64
-	reg               *telemetry.Registry
-}
-
-// clientMetrics are the client-side fault counters; they are always counted
-// and additionally exported when WithMetrics supplies a registry.
+// clientMetrics are the client-side counters; they are always counted and
+// additionally exported when ClientConfig.Metrics supplies a registry.
 type clientMetrics struct {
 	retries    telemetry.Counter
 	timeouts   telemetry.Counter
 	reconnects telemetry.Counter
 	replays    telemetry.Counter
 	lostOps    telemetry.Counter
+
+	coalesced     telemetry.Counter
+	cwndDecreases telemetry.Counter
+	rttNS         telemetry.Histogram
+	cwnd          telemetry.Gauge
 }
 
 func (m *clientMetrics) register(reg *telemetry.Registry) {
@@ -111,95 +120,30 @@ func (m *clientMetrics) register(reg *telemetry.Registry) {
 		"Non-idempotent in-flight operations failed with ErrConnectionLost on a connection failure.", &m.lostOps)
 }
 
-// Option configures a Client.
-type Option func(*clientOptions)
-
-// WithTimeout bounds every operation: a call that has not completed within d
-// fails with an error wrapping ErrOpTimeout. The deadline covers EAGAIN
-// retries and reconnect waits.
-func WithTimeout(d time.Duration) Option {
-	return func(o *clientOptions) { o.timeout = d }
+// registerCongestion exports the congestion-control families; registered
+// only when the window is enabled so legacy clients keep their exact
+// metric surface. The RTT family is iofwd_client_rtt_ns, not _seconds:
+// the repo's histograms carry explicit unit suffixes (_ns/_bytes/_ops)
+// enforced by telemetry.ValidateName and the metricname analyzer.
+func (m *clientMetrics) registerCongestion(reg *telemetry.Registry) {
+	reg.MustRegister("iofwd_client_cwnd",
+		"Current AIMD congestion window in in-flight operation slots.", &m.cwnd)
+	reg.MustRegister("iofwd_client_rtt_ns",
+		"Per-operation round-trip times feeding the EWMA estimator (replayed operations excluded).", &m.rttNS)
+	reg.MustRegister("iofwd_cwnd_decreases_total",
+		"Multiplicative window decreases triggered by EAGAIN sheds or operation timeouts.", &m.cwndDecreases)
+	reg.MustRegister("iofwd_coalesced_writes_total",
+		"Positional writes merged into an adjacent in-flight frame instead of taking their own wire operation.", &m.coalesced)
 }
 
-// WithRetry lets the client retry operations the server shed with EAGAIN up
-// to max times, sleeping an exponentially growing, jittered delay between
-// attempts (base doubling per attempt, capped at maxDelay).
-func WithRetry(max int, base, maxDelay time.Duration) Option {
-	return func(o *clientOptions) {
-		o.maxRetries = max
-		if base > 0 {
-			o.retryBase = base
-		}
-		if maxDelay > 0 {
-			o.retryMax = maxDelay
-		}
-	}
-}
-
-// WithReconnect enables transport failover with up to attempts redial
-// attempts per outage. Dial installs a redialer to the original address
-// automatically; NewClient users must also supply WithRedial.
-func WithReconnect(attempts int) Option {
-	return func(o *clientOptions) { o.reconnectAttempts = attempts }
-}
-
-// WithRedial supplies the function used to obtain a replacement connection
-// after a transport failure (and enables reconnection if WithReconnect was
-// not given).
-func WithRedial(f func() (net.Conn, error)) Option {
-	return func(o *clientOptions) { o.redial = f }
-}
-
-// WithSeed fixes the jitter RNG so chaos tests get a reproducible backoff
-// schedule.
-func WithSeed(seed int64) Option {
-	return func(o *clientOptions) { o.seed = seed }
-}
-
-// WithMetrics registers the client's fault counters (iofwd_retries_total,
-// iofwd_timeouts_total, iofwd_reconnects_total, ...) on reg.
-func WithMetrics(reg *telemetry.Registry) Option {
-	return func(o *clientOptions) { o.reg = reg }
-}
-
-// Dial connects to a forwarding server. When WithReconnect is given, a
-// redialer to the same address is installed automatically (unless WithRedial
-// overrides it).
-func Dial(network, addr string, opts ...Option) (*Client, error) {
-	nc, err := net.Dial(network, addr)
-	if err != nil {
-		return nil, err
-	}
-	var o clientOptions
-	for _, opt := range opts {
-		opt(&o)
-	}
-	if o.reconnectAttempts > 0 && o.redial == nil {
-		opts = append(opts, WithRedial(func() (net.Conn, error) {
-			return net.Dial(network, addr)
-		}))
-	}
-	return NewClient(nc, opts...), nil
-}
-
-// NewClient wraps an established connection (TCP, Unix socket, or one end
-// of a net.Pipe).
-func NewClient(nc net.Conn, opts ...Option) *Client {
-	o := clientOptions{
-		retryBase:         5 * time.Millisecond,
-		retryMax:          250 * time.Millisecond,
-		reconnectAttempts: 0,
-		seed:              1,
-	}
-	for _, opt := range opts {
-		opt(&o)
-	}
-	if o.redial != nil && o.reconnectAttempts <= 0 {
-		o.reconnectAttempts = 8
-	}
+// newClient builds the Client from a normalized config around an
+// established connection; both constructor surfaces (ClientConfig and the
+// deprecated options) funnel through here.
+func (cfg ClientConfig) newClient(nc net.Conn) *Client {
+	n := cfg.normalized()
 	c := &Client{
-		opts:    o,
-		rng:     rand.New(rand.NewSource(o.seed)),
+		cfg:     n,
+		rng:     rand.New(rand.NewSource(n.Seed)),
 		nc:      nc,
 		nextID:  1,
 		nextFD:  3, // mirrors the server's numbering until the first failover
@@ -208,19 +152,66 @@ func NewClient(nc net.Conn, opts ...Option) *Client {
 		ready:   make(chan struct{}),
 	}
 	close(c.ready)
-	if o.reg != nil {
-		c.met.register(o.reg)
+	if n.Window.Max > 0 {
+		c.cg = newCongestion(n.Window, &c.met)
+		if n.Coalesce.MaxBytes > 0 {
+			c.coal = newCoalescer(c, n.Coalesce)
+		}
+	}
+	if n.Metrics != nil {
+		c.met.register(n.Metrics)
+		if c.cg != nil {
+			c.met.registerCongestion(n.Metrics)
+		}
 	}
 	//lint:allow goroleak readLoop exits on its conn's read error; Client.Close closes nc, which unblocks and ends it
 	go c.readLoop(nc, c.gen)
 	return c
 }
 
-// Metrics returns a snapshot of the client-side fault counters:
-// retries, timeouts, reconnects, replays, lost ops.
+// ClientStats is a point-in-time snapshot of the client's fault counters
+// and congestion-control state. The congestion fields (Cwnd, SRTT, RTTVar,
+// Inflight) are zero when the window is disabled.
+type ClientStats struct {
+	Retries    uint64
+	Timeouts   uint64
+	Reconnects uint64
+	Replays    uint64
+	LostOps    uint64
+
+	CoalescedWrites uint64
+	CwndDecreases   uint64
+	Cwnd            float64
+	SRTT            time.Duration
+	RTTVar          time.Duration
+	Inflight        int
+}
+
+// Stats returns a snapshot of the client's counters and congestion state.
+func (c *Client) Stats() ClientStats {
+	s := ClientStats{
+		Retries:         c.met.retries.Value(),
+		Timeouts:        c.met.timeouts.Value(),
+		Reconnects:      c.met.reconnects.Value(),
+		Replays:         c.met.replays.Value(),
+		LostOps:         c.met.lostOps.Value(),
+		CoalescedWrites: c.met.coalesced.Value(),
+		CwndDecreases:   c.met.cwndDecreases.Value(),
+	}
+	if c.cg != nil {
+		s.Cwnd, s.SRTT, s.RTTVar, s.Inflight = c.cg.snapshot()
+	}
+	return s
+}
+
+// Metrics returns the five original fault counters positionally: retries,
+// timeouts, reconnects, replays, lost ops.
+//
+// Deprecated: use Stats, which names the fields and carries the
+// congestion-control counters too.
 func (c *Client) Metrics() (retries, timeouts, reconnects, replays, lost uint64) {
-	return c.met.retries.Value(), c.met.timeouts.Value(), c.met.reconnects.Value(),
-		c.met.replays.Value(), c.met.lostOps.Value()
+	s := c.Stats()
+	return s.Retries, s.Timeouts, s.Reconnects, s.Replays, s.LostOps
 }
 
 // readLoop demultiplexes responses to their callers by request id. One loop
@@ -284,7 +275,7 @@ func (c *Client) connFailed(gen uint64, cause error) {
 		c.mu.Unlock()
 		return
 	}
-	if c.opts.redial == nil {
+	if c.cfg.Redial == nil {
 		c.failLocked(fmt.Errorf("%w: %v", ErrConnectionLost, cause))
 		c.mu.Unlock()
 		return
@@ -297,6 +288,7 @@ func (c *Client) connFailed(gen uint64, cause error) {
 	var replayIDs []uint64
 	for id, pc := range c.pending {
 		if idempotentOp(pc.op) {
+			pc.replayed = true // exclude its round trip from the RTT estimator
 			replay = append(replay, pc)
 			replayIDs = append(replayIDs, id)
 			continue
@@ -315,10 +307,13 @@ func (c *Client) connFailed(gen uint64, cause error) {
 	go c.reconnect(cause, files, replay, replayIDs)
 }
 
-// failLocked delivers a terminal error to every in-flight call and to all
-// future calls. Callers hold c.mu.
+// failLocked delivers a terminal error to every in-flight call, to all
+// parked admission waiters, and to all future calls. Callers hold c.mu.
 func (c *Client) failLocked(err error) {
 	c.lastErr = err
+	if c.cg != nil {
+		c.cg.close(err)
+	}
 	for id, pc := range c.pending {
 		delete(c.pending, id)
 		//lint:allow lockhold pc.ch is buffered (cap 1) with exactly one send per call, so this send never blocks
@@ -348,15 +343,15 @@ func (c *Client) backoff(k int, base, max time.Duration) time.Duration {
 // re-opens every descriptor the client holds, installs the new connection,
 // and replays the retained idempotent in-flight calls.
 func (c *Client) reconnect(cause error, files []*openFile, replay []*pendingCall, replayIDs []uint64) {
-	for attempt := 1; attempt <= c.opts.reconnectAttempts; attempt++ {
-		time.Sleep(c.backoff(attempt, c.opts.retryBase, c.opts.retryMax))
+	for attempt := 1; attempt <= c.cfg.ReconnectAttempts; attempt++ {
+		time.Sleep(c.backoff(attempt, c.cfg.RetryBase, c.cfg.RetryMax))
 		c.mu.Lock()
 		if c.closed || c.lastErr != nil {
 			c.mu.Unlock()
 			return
 		}
 		c.mu.Unlock()
-		nc, err := c.opts.redial()
+		nc, err := c.cfg.Redial()
 		if err != nil {
 			continue
 		}
@@ -394,7 +389,7 @@ func (c *Client) reconnect(cause error, files []*openFile, replay []*pendingCall
 	}
 	c.mu.Lock()
 	c.failLocked(fmt.Errorf("%w: reconnect failed after %d attempts: %v",
-		ErrConnectionLost, c.opts.reconnectAttempts, cause))
+		ErrConnectionLost, c.cfg.ReconnectAttempts, cause))
 	c.mu.Unlock()
 }
 
@@ -443,32 +438,45 @@ func (c *Client) send(nc net.Conn, id uint64, pc *pendingCall) error {
 	return err
 }
 
-// call sends one request and waits for its response, applying the per-op
-// deadline and retrying EAGAIN (shed) responses with backoff for safely
-// retryable data operations.
-func (c *Client) call(op Op, fd uint64, offset uint64, length uint32, path string, payload []byte) (*response, error) {
-	var deadline <-chan time.Time
-	if c.opts.timeout > 0 {
-		timer := time.NewTimer(c.opts.timeout)
-		defer timer.Stop()
-		deadline = timer.C
+// ctxErr converts a finished context into the client's error vocabulary: a
+// deadline maps to ErrOpTimeout (counted as a timeout, exactly like the old
+// deadline-channel path), a cancellation wraps context.Canceled so
+// errors.Is(err, context.Canceled) holds for callers.
+func (c *Client) ctxErr(ctx context.Context, op Op, what string) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		c.met.timeouts.Inc()
+		return fmt.Errorf("%w: %s %s: %w", ErrOpTimeout, op, what, ctx.Err())
+	}
+	return fmt.Errorf("core: %s canceled while %s: %w", op, what, ctx.Err())
+}
+
+// call sends one request and waits for its response. The context governs
+// every wait on the way — window admission, the reconnect gate, the
+// response, and retry backoff — and ClientConfig.Timeout is layered on as a
+// derived deadline, so the op fails when either the caller's context or the
+// per-op budget expires. EAGAIN (shed) responses are retried with backoff
+// for safely retryable data operations.
+func (c *Client) call(ctx context.Context, op Op, fd uint64, offset uint64, length uint32, path string, payload []byte) (*response, error) {
+	if c.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.Timeout)
+		defer cancel()
 	}
 	for attempt := 0; ; attempt++ {
-		r, err := c.callOnce(op, fd, offset, length, path, payload, deadline)
+		r, err := c.callOnce(ctx, op, fd, offset, length, path, payload)
 		if err != nil {
 			return nil, err
 		}
-		if r.errno != EAGAIN || attempt >= c.opts.maxRetries || !retryableErrno(op) {
+		if r.errno != EAGAIN || attempt >= c.cfg.MaxRetries || !retryableErrno(op) {
 			return r, nil
 		}
 		c.met.retries.Inc()
-		wait := time.NewTimer(c.backoff(attempt+1, c.opts.retryBase, c.opts.retryMax))
+		wait := time.NewTimer(c.backoff(attempt+1, c.cfg.RetryBase, c.cfg.RetryMax))
 		select {
 		case <-wait.C:
-		case <-deadline:
+		case <-ctx.Done():
 			wait.Stop()
-			c.met.timeouts.Inc()
-			return nil, fmt.Errorf("%w: %s retried past the %v deadline", ErrOpTimeout, op, c.opts.timeout)
+			return nil, c.ctxErr(ctx, op, "retrying a shed operation")
 		}
 	}
 }
@@ -484,8 +492,21 @@ func retryableErrno(op Op) bool {
 	return false
 }
 
-// callOnce performs a single request/response exchange.
-func (c *Client) callOnce(op Op, fd uint64, offset uint64, length uint32, path string, payload []byte, deadline <-chan time.Time) (*response, error) {
+// callOnce performs a single request/response exchange: window admission,
+// the reconnect-gate wait, registration, send, and the response wait, all
+// under ctx. It also feeds the congestion controller — a clean response is
+// an ack (with an RTT sample unless the op was replayed across a
+// reconnect), an EAGAIN or a deadline expiry is a congestion signal.
+func (c *Client) callOnce(ctx context.Context, op Op, fd uint64, offset uint64, length uint32, path string, payload []byte) (*response, error) {
+	if c.cg != nil {
+		if err := c.cg.acquire(ctx); err != nil {
+			if ctx.Err() != nil {
+				return nil, c.ctxErr(ctx, op, "waiting for a window slot")
+			}
+			return nil, err
+		}
+		defer c.cg.release()
+	}
 	pc := &pendingCall{
 		ch: make(chan callResult, 1),
 		op: op, fd: fd, offset: offset, length: length, path: path, payload: payload,
@@ -506,9 +527,8 @@ func (c *Client) callOnce(op Op, fd uint64, offset uint64, length uint32, path s
 			c.mu.Unlock()
 			select {
 			case <-ready:
-			case <-deadline:
-				c.met.timeouts.Inc()
-				return nil, fmt.Errorf("%w: %s waited %v for reconnection", ErrOpTimeout, op, c.opts.timeout)
+			case <-ctx.Done():
+				return nil, c.ctxErr(ctx, op, "waiting for reconnection")
 			}
 			c.mu.Lock()
 			continue
@@ -517,6 +537,7 @@ func (c *Client) callOnce(op Op, fd uint64, offset uint64, length uint32, path s
 	}
 	id := c.nextID
 	c.nextID++
+	pc.sentAt = time.Now()
 	c.pending[id] = pc
 	nc := c.nc
 	gen := c.gen
@@ -530,13 +551,25 @@ func (c *Client) callOnce(op Op, fd uint64, offset uint64, length uint32, path s
 	}
 	select {
 	case res := <-pc.ch:
+		if c.cg != nil && res.err == nil {
+			if res.resp.errno == EAGAIN {
+				c.cg.onCongestion(pc.sentAt)
+			} else {
+				// pc.replayed was written under c.mu before the replay was
+				// re-sent; the response delivery on pc.ch orders that write
+				// before this read.
+				c.cg.onAck(time.Since(pc.sentAt), !pc.replayed)
+			}
+		}
 		return res.resp, res.err
-	case <-deadline:
+	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pending, id) // a late response is dropped by readLoop
 		c.mu.Unlock()
-		c.met.timeouts.Inc()
-		return nil, fmt.Errorf("%w: %s after %v", ErrOpTimeout, op, c.opts.timeout)
+		if c.cg != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			c.cg.onCongestion(pc.sentAt)
+		}
+		return nil, c.ctxErr(ctx, op, "awaiting a response")
 	}
 }
 
@@ -552,12 +585,13 @@ func respErr(fd uint64, r *response) error {
 	return r.errno
 }
 
-// Open opens (creating if needed) the named remote object.
-func (c *Client) Open(name string) (*File, error) {
+// Open opens (creating if needed) the named remote object. ctx bounds the
+// exchange alongside ClientConfig.Timeout.
+func (c *Client) Open(ctx context.Context, name string) (*File, error) {
 	if len(name) == 0 || len(name) > MaxPath {
 		return nil, EINVAL
 	}
-	r, err := c.call(OpOpen, 0, 0, 0, name, nil)
+	r, err := c.call(ctx, OpOpen, 0, 0, 0, name, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -574,8 +608,8 @@ func (c *Client) Open(name string) (*File, error) {
 
 // Flush blocks until every staged operation on this connection has
 // completed on the server.
-func (c *Client) Flush() error {
-	r, err := c.call(OpFlush, 0, 0, 0, "", nil)
+func (c *Client) Flush(ctx context.Context) error {
+	r, err := c.call(ctx, OpFlush, 0, 0, 0, "", nil)
 	if err != nil {
 		return err
 	}
@@ -608,7 +642,12 @@ func (c *Client) Close() error {
 	nc := c.nc
 	c.failLocked(fmt.Errorf("%w: %v", ErrClientClosed, ECLOSED))
 	c.mu.Unlock()
-	return nc.Close()
+	err := nc.Close()
+	// Join the coalescer senders. failLocked already failed their merged
+	// calls (and closed the window), and nc is closed above, so no sender
+	// can still be blocked on the network.
+	c.coalWG.Wait()
+	return err
 }
 
 // File is an open remote descriptor.
@@ -621,84 +660,126 @@ type File struct {
 // Name returns the path the file was opened with.
 func (f *File) Name() string { return f.name }
 
-// Write appends b at the server-side cursor. Under an asynchronous-staging
-// server the data has been copied and queued when Write returns, not yet
-// executed; a returned *DeferredError reports a *previous* staged write's
-// failure while the current write was still accepted.
+// WriteCtx appends b at the server-side cursor. Under an
+// asynchronous-staging server the data has been copied and queued when
+// WriteCtx returns, not yet executed; a returned *DeferredError reports a
+// *previous* staged write's failure while the current write was still
+// accepted. Cursor writes are never coalesced and never replayed across a
+// reconnect: they are not idempotent.
+func (f *File) WriteCtx(ctx context.Context, b []byte) (int, error) {
+	if len(b) > MaxPayload {
+		return 0, EINVAL
+	}
+	r, err := f.c.call(ctx, OpWrite, f.fd, 0, uint32(len(b)), "", b)
+	if err != nil {
+		return 0, err
+	}
+	return int(r.value), respErr(f.fd, r)
+}
+
+// Write appends b at the server-side cursor with no caller context.
 func (f *File) Write(b []byte) (int, error) {
-	if len(b) > MaxPayload {
+	return f.WriteCtx(context.Background(), b)
+}
+
+// WriteAtCtx writes b at the given offset. Positional writes are
+// idempotent: after a connection failure with reconnection enabled, an
+// in-flight WriteAtCtx is replayed on the new connection instead of
+// failing. With coalescing enabled and the congestion window full,
+// adjacent writes on the same descriptor may be merged into one wire
+// operation; completion (including per-sub-write short counts and errors)
+// is split back per caller.
+func (f *File) WriteAtCtx(ctx context.Context, b []byte, off int64) (int, error) {
+	if len(b) > MaxPayload || off < 0 {
 		return 0, EINVAL
 	}
-	r, err := f.c.call(OpWrite, f.fd, 0, uint32(len(b)), "", b)
+	if co := f.c.coal; co != nil {
+		if n, err, handled := co.writeAt(ctx, f.fd, b, off); handled {
+			return n, err
+		}
+	}
+	r, err := f.c.call(ctx, OpPwrite, f.fd, uint64(off), uint32(len(b)), "", b)
 	if err != nil {
 		return 0, err
 	}
 	return int(r.value), respErr(f.fd, r)
 }
 
-// WriteAt writes b at the given offset. WriteAt is idempotent: after a
-// connection failure with reconnection enabled, an in-flight WriteAt is
-// replayed on the new connection instead of failing.
+// WriteAt writes b at the given offset with no caller context.
 func (f *File) WriteAt(b []byte, off int64) (int, error) {
-	if len(b) > MaxPayload || off < 0 {
-		return 0, EINVAL
-	}
-	r, err := f.c.call(OpPwrite, f.fd, uint64(off), uint32(len(b)), "", b)
-	if err != nil {
-		return 0, err
-	}
-	return int(r.value), respErr(f.fd, r)
+	return f.WriteAtCtx(context.Background(), b, off)
 }
 
-// Read fills b from the server-side cursor. Reads always block for the
+// ReadCtx fills b from the server-side cursor. Reads always block for the
 // data and are ordered behind staged writes on the same descriptor.
-func (f *File) Read(b []byte) (int, error) {
+func (f *File) ReadCtx(ctx context.Context, b []byte) (int, error) {
 	if len(b) > MaxPayload {
 		return 0, EINVAL
 	}
-	r, err := f.c.call(OpRead, f.fd, 0, uint32(len(b)), "", nil)
+	r, err := f.c.call(ctx, OpRead, f.fd, 0, uint32(len(b)), "", nil)
 	if err != nil {
 		return 0, err
 	}
 	return copy(b, r.payload), respErr(f.fd, r)
 }
 
-// ReadAt fills b from the given offset. ReadAt is idempotent and replayed
-// across reconnects like WriteAt.
-func (f *File) ReadAt(b []byte, off int64) (int, error) {
+// Read fills b from the server-side cursor with no caller context.
+func (f *File) Read(b []byte) (int, error) {
+	return f.ReadCtx(context.Background(), b)
+}
+
+// ReadAtCtx fills b from the given offset. ReadAtCtx is idempotent and
+// replayed across reconnects like WriteAtCtx.
+func (f *File) ReadAtCtx(ctx context.Context, b []byte, off int64) (int, error) {
 	if len(b) > MaxPayload || off < 0 {
 		return 0, EINVAL
 	}
-	r, err := f.c.call(OpPread, f.fd, uint64(off), uint32(len(b)), "", nil)
+	r, err := f.c.call(ctx, OpPread, f.fd, uint64(off), uint32(len(b)), "", nil)
 	if err != nil {
 		return 0, err
 	}
 	return copy(b, r.payload), respErr(f.fd, r)
 }
 
-// Sync drains staged operations on this descriptor and syncs the backend;
-// it reports any deferred error.
-func (f *File) Sync() error {
-	r, err := f.c.call(OpFsync, f.fd, 0, 0, "", nil)
+// ReadAt fills b from the given offset with no caller context.
+func (f *File) ReadAt(b []byte, off int64) (int, error) {
+	return f.ReadAtCtx(context.Background(), b, off)
+}
+
+// SyncCtx drains staged operations on this descriptor and syncs the
+// backend; it reports any deferred error.
+func (f *File) SyncCtx(ctx context.Context) error {
+	r, err := f.c.call(ctx, OpFsync, f.fd, 0, 0, "", nil)
 	if err != nil {
 		return err
 	}
 	return respErr(f.fd, r)
 }
 
-// Stat returns the remote object's current size.
-func (f *File) Stat() (int64, error) {
-	r, err := f.c.call(OpStat, f.fd, 0, 0, "", nil)
+// Sync drains staged operations and syncs the backend with no caller
+// context.
+func (f *File) Sync() error {
+	return f.SyncCtx(context.Background())
+}
+
+// StatCtx returns the remote object's current size.
+func (f *File) StatCtx(ctx context.Context) (int64, error) {
+	r, err := f.c.call(ctx, OpStat, f.fd, 0, 0, "", nil)
 	if err != nil {
 		return 0, err
 	}
 	return r.value, respErr(f.fd, r)
 }
 
+// Stat returns the remote object's current size with no caller context.
+func (f *File) Stat() (int64, error) {
+	return f.StatCtx(context.Background())
+}
+
 // PollError retrieves (and clears) a pending deferred error without
 // performing I/O.
 func (f *File) PollError() error {
-	r, err := f.c.call(OpErrPoll, f.fd, 0, 0, "", nil)
+	r, err := f.c.call(context.Background(), OpErrPoll, f.fd, 0, 0, "", nil)
 	if err != nil {
 		return err
 	}
@@ -708,7 +789,7 @@ func (f *File) PollError() error {
 // Close drains staged operations, closes the remote descriptor, and
 // reports any unconsumed deferred error.
 func (f *File) Close() error {
-	r, err := f.c.call(OpClose, f.fd, 0, 0, "", nil)
+	r, err := f.c.call(context.Background(), OpClose, f.fd, 0, 0, "", nil)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// benchShedding measures acked write throughput from 8 clients × 8 writer
+// goroutines against a fixed-capacity shedding service (capacityServer: 8
+// concurrent service slots, 1ms per op regardless of size, EAGAIN the
+// instant every slot is busy — the shed knee the window is designed to
+// find). The real server cannot stand in here: its per-connection FIFO and
+// BML admission are themselves back-pressure, so a handful of loopback
+// clients never see the stampede a fleet of compute nodes produces.
+//
+// The fixed variant is the pre-window client: 64 writers hammer a service
+// with 8 slots, ~7 of 8 arrivals shed, and every shed op sits in jittered
+// exponential backoff — the offered load oscillates between stampede and
+// silence, so service slots idle while writers sleep. The adaptive variant
+// runs the AIMD window plus coalescing: each client converges onto its
+// share of the 8 slots, probes the knee a few percent of the time, and the
+// writes that park on the full window merge into frames that carry up to
+// 16 ops' bytes through one slot. Every op must ack — a lost ack fails the
+// benchmark — so the MB/s numbers are goodput, not attempts.
+//
+// Run with a fixed op count for comparable results:
+//
+//	go test -run '^$' -bench Shedding -benchtime 3000x ./internal/core/
+func benchShedding(b *testing.B, adaptive bool) {
+	const (
+		clients    = 8
+		writersPer = 8
+		capacity   = 8
+		service    = time.Millisecond
+		msg        = 4096
+	)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	fs := &capacityServer{l: l, slots: make(chan struct{}, capacity), service: service}
+	go fs.run()
+
+	ctx := context.Background()
+	type cli struct {
+		c    *Client
+		f    *File
+		next atomic.Int64 // per-client offset allocator: adjacency is per-fd
+	}
+	cls := make([]*cli, clients)
+	for i := range cls {
+		cfg := ClientConfig{MaxRetries: 1024, Seed: int64(i + 1)}
+		if adaptive {
+			cfg.Window = WindowConfig{Max: 32}
+			cfg.Coalesce = CoalesceConfig{MaxBytes: 64 << 10, MaxOps: 16, Linger: 2 * time.Millisecond}
+		}
+		c, err := cfg.Dial(ctx, "tcp", l.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		f, err := c.Open(ctx, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cls[i] = &cli{c: c, f: f}
+	}
+
+	buf := make([]byte, msg)
+	var budget atomic.Int64
+	var lost atomic.Int64
+	b.SetBytes(msg)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for _, cl := range cls {
+		for w := 0; w < writersPer; w++ {
+			wg.Add(1)
+			go func(cl *cli) {
+				defer wg.Done()
+				for budget.Add(1) <= int64(b.N) {
+					// Consecutive allocations on one client stay adjacent —
+					// the log-append pattern coalescing exists for.
+					off := (cl.next.Add(1) - 1) * msg
+					if _, err := cl.f.WriteAt(buf, off); err != nil {
+						lost.Add(1)
+						b.Errorf("write: %v", err)
+						return
+					}
+				}
+			}(cl)
+		}
+	}
+	wg.Wait()
+	b.StopTimer()
+	if lost.Load() != 0 {
+		b.Fatalf("%d lost acks", lost.Load())
+	}
+	var retries, coalesced, decreases uint64
+	for _, cl := range cls {
+		s := cl.c.Stats()
+		retries += s.Retries
+		coalesced += s.CoalescedWrites
+		decreases += s.CwndDecreases
+	}
+	b.ReportMetric(float64(retries)/float64(b.N), "sheds/op")
+	if adaptive {
+		b.ReportMetric(float64(coalesced)/float64(b.N), "merged/op")
+		b.ReportMetric(float64(decreases), "decreases")
+	}
+}
+
+func BenchmarkSheddingFixedBackoff(b *testing.B)   { benchShedding(b, false) }
+func BenchmarkSheddingAdaptiveWindow(b *testing.B) { benchShedding(b, true) }

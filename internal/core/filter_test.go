@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"hash/crc32"
@@ -100,7 +101,7 @@ func TestServerSideReduction(t *testing.T) {
 	defer c.Close()
 	defer srv.Close()
 
-	f, err := c.Open("reduced")
+	f, err := c.Open(context.Background(), "reduced")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestObserveOnlyFilterKeepsDataIntact(t *testing.T) {
 	defer c.Close()
 	defer srv.Close()
 
-	f, err := c.Open("intact")
+	f, err := c.Open(context.Background(), "intact")
 	if err != nil {
 		t.Fatal(err)
 	}

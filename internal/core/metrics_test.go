@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"strings"
@@ -64,7 +65,7 @@ func TestMetricsMatchWorkload(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			f, err := cl.Open(fmt.Sprintf("m/%d", i))
+			f, err := cl.Open(context.Background(), fmt.Sprintf("m/%d", i))
 			if err != nil {
 				t.Error(err)
 				return
@@ -155,7 +156,7 @@ func TestMetricsMatchWorkload(t *testing.T) {
 func TestMetricsStageHistograms(t *testing.T) {
 	const writes = 6
 	srv, cl := startMetricsServer(t, ModeAsync)
-	f, err := cl.Open("stages")
+	f, err := cl.Open(context.Background(), "stages")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestMetricsStageHistograms(t *testing.T) {
 // carries the series the acceptance criteria name.
 func TestMetricsPrometheusEndToEnd(t *testing.T) {
 	srv, cl := startMetricsServer(t, ModeWorkQueue)
-	f, err := cl.Open("prom")
+	f, err := cl.Open(context.Background(), "prom")
 	if err != nil {
 		t.Fatal(err)
 	}

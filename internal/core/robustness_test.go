@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"math/rand"
@@ -46,7 +47,7 @@ func TestTruncatedFrame(t *testing.T) {
 	go func() { _ = srv.ServeConn(sc); close(done) }()
 
 	c := NewClient(cc)
-	f, err := c.Open("t")
+	f, err := c.Open(context.Background(), "t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestClientFailsPendingCallsOnDisconnect(t *testing.T) {
 	c := NewClient(cc)
 	errs := make(chan error, 1)
 	go func() {
-		_, err := c.Open("x")
+		_, err := c.Open(context.Background(), "x")
 		errs <- err
 	}()
 	// Consume the request so the client is parked waiting for the reply,
@@ -97,7 +98,7 @@ func TestClientFailsPendingCallsOnDisconnect(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("pending call hung")
 	}
-	if _, err := c.Open("y"); err == nil {
+	if _, err := c.Open(context.Background(), "y"); err == nil {
 		t.Fatal("later call succeeded on dead connection")
 	}
 }
@@ -123,7 +124,7 @@ func TestShutdownRaceReturnsECLOSED(t *testing.T) {
 	go func() { _ = srv.ServeConn(sc) }()
 	c := NewClient(cc)
 	defer c.Close()
-	f, err := c.Open("race")
+	f, err := c.Open(context.Background(), "race")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,11 +162,11 @@ func TestClientErrorsAreTyped(t *testing.T) {
 	cc, sc := net.Pipe()
 	c := NewClient(cc)
 	_ = sc.Close()
-	if _, err := c.Open("x"); !errors.Is(err, ErrConnectionLost) {
+	if _, err := c.Open(context.Background(), "x"); !errors.Is(err, ErrConnectionLost) {
 		t.Fatalf("after transport failure: want ErrConnectionLost wrap, got %v", err)
 	}
 	// ...and it is sticky for later calls.
-	if _, err := c.Open("y"); !errors.Is(err, ErrConnectionLost) {
+	if _, err := c.Open(context.Background(), "y"); !errors.Is(err, ErrConnectionLost) {
 		t.Fatalf("subsequent call: want ErrConnectionLost wrap, got %v", err)
 	}
 
@@ -173,7 +174,7 @@ func TestClientErrorsAreTyped(t *testing.T) {
 	cc2, _ := net.Pipe()
 	c2 := NewClient(cc2)
 	_ = c2.Close()
-	if _, err := c2.Open("z"); !errors.Is(err, ErrClientClosed) {
+	if _, err := c2.Open(context.Background(), "z"); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("after Close: want ErrClientClosed wrap, got %v", err)
 	}
 }
@@ -193,7 +194,7 @@ func TestOpDeadline(t *testing.T) {
 		// Read the request, then never reply.
 	}()
 	start := time.Now()
-	_, err := c.Open("silent")
+	_, err := c.Open(context.Background(), "silent")
 	if !errors.Is(err, ErrOpTimeout) {
 		t.Fatalf("want ErrOpTimeout wrap, got %v", err)
 	}
@@ -255,7 +256,7 @@ func TestOverloadShedAndRetry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, err := c.Open("shed")
+	f, err := c.Open(context.Background(), "shed")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestOverloadShedAndRetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cr.Close()
-	fr, err := cr.Open("shed")
+	fr, err := cr.Open(context.Background(), "shed")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +354,7 @@ func TestWorkerPanicRecovery(t *testing.T) {
 	go func() { _ = srv.ServeConn(sc) }()
 	c := NewClient(cc)
 	defer c.Close()
-	f, err := c.Open("p")
+	f, err := c.Open(context.Background(), "p")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,7 +422,7 @@ func TestBMLTimeoutDegradesToSync(t *testing.T) {
 	go func() { _ = srv.ServeConn(sc) }()
 	c := NewClient(cc)
 	defer c.Close()
-	f, err := c.Open("d")
+	f, err := c.Open(context.Background(), "d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -495,7 +496,7 @@ func TestReconnectReplaysIdempotentOps(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	f, err := c.Open("replay")
+	f, err := c.Open(context.Background(), "replay")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -553,7 +554,7 @@ func TestReconnectFailsNonIdempotentFast(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	f, err := c.Open("cursor")
+	f, err := c.Open(context.Background(), "cursor")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -599,7 +600,7 @@ func TestWorkerPoolSurvivesManyConnections(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		f, err := c.Open("churn")
+		f, err := c.Open(context.Background(), "churn")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -614,7 +615,7 @@ func TestWorkerPoolSurvivesManyConnections(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	f, err := c.Open("after")
+	f, err := c.Open(context.Background(), "after")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -223,7 +224,7 @@ func TestZeroCopyReadE2E(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer c.Close()
-			f, err := c.Open("zc")
+			f, err := c.Open(context.Background(), "zc")
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -29,7 +30,7 @@ func TestWriteReadRoundTripAllModes(t *testing.T) {
 	for _, mode := range allModes {
 		t.Run(mode.String(), func(t *testing.T) {
 			c, _ := pipePair(t, Config{Mode: mode, Workers: 2})
-			f, err := c.Open("data/test.bin")
+			f, err := c.Open(context.Background(), "data/test.bin")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -66,7 +67,7 @@ func TestSequentialCursorSemantics(t *testing.T) {
 		t.Run(mode.String(), func(t *testing.T) {
 			backend := NewMemBackend()
 			c, _ := pipePair(t, Config{Mode: mode, Backend: backend, Workers: 3})
-			f, err := c.Open("seq")
+			f, err := c.Open(context.Background(), "seq")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -88,7 +89,7 @@ func TestSequentialCursorSemantics(t *testing.T) {
 				t.Fatalf("sequential contents diverge (ok=%v, len %d vs %d)", ok, len(got), want.Len())
 			}
 			// Sequential reads walk the same cursor from zero on a fresh fd.
-			f2, err := c.Open("seq")
+			f2, err := c.Open(context.Background(), "seq")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -108,7 +109,7 @@ func TestSequentialCursorSemantics(t *testing.T) {
 func TestAsyncDeferredErrorReporting(t *testing.T) {
 	backend := &failingBackend{inner: NewMemBackend(), failAfter: 2}
 	c, _ := pipePair(t, Config{Mode: ModeAsync, Backend: backend, Workers: 1})
-	f, err := c.Open("doomed")
+	f, err := c.Open(context.Background(), "doomed")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestAsyncDeferredErrorReporting(t *testing.T) {
 func TestDeferredErrorOnNextWrite(t *testing.T) {
 	backend := &failingBackend{inner: NewMemBackend(), failAfter: 0}
 	c, _ := pipePair(t, Config{Mode: ModeAsync, Backend: backend, Workers: 1})
-	f, err := c.Open("x")
+	f, err := c.Open(context.Background(), "x")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestDeferredErrorOnNextWrite(t *testing.T) {
 		t.Fatalf("first staged write rejected: %v", err)
 	}
 	// Drain so the failure is recorded before the next write.
-	_ = c.Flush()
+	_ = c.Flush(context.Background())
 	_, err = f.Write(make([]byte, 128))
 	var de *DeferredError
 	if !errors.As(err, &de) {
@@ -157,7 +158,7 @@ func TestDeferredErrorOnNextWrite(t *testing.T) {
 func TestCloseReportsDeferredError(t *testing.T) {
 	backend := &failingBackend{inner: NewMemBackend(), failAfter: 0}
 	c, _ := pipePair(t, Config{Mode: ModeAsync, Backend: backend, Workers: 1})
-	f, err := c.Open("x")
+	f, err := c.Open(context.Background(), "x")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestConcurrentClientsOverTCP(t *testing.T) {
 							return err
 						}
 						defer c.Close()
-						f, err := c.Open(fmt.Sprintf("client%d", i))
+						f, err := c.Open(context.Background(), fmt.Sprintf("client%d", i))
 						if err != nil {
 							return err
 						}
@@ -263,7 +264,7 @@ func TestServerTeardownDrainsStagedWrites(t *testing.T) {
 	done := make(chan struct{})
 	go func() { _ = s.ServeConn(sc); close(done) }()
 	c := NewClient(cc)
-	f, err := c.Open("orphan")
+	f, err := c.Open(context.Background(), "orphan")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestFlushDrainsAllDescriptors(t *testing.T) {
 	c, srv := pipePair(t, Config{Mode: ModeAsync, Backend: backend, Workers: 1})
 	var files []*File
 	for i := 0; i < 4; i++ {
-		f, err := c.Open(fmt.Sprintf("f%d", i))
+		f, err := c.Open(context.Background(), fmt.Sprintf("f%d", i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -294,7 +295,7 @@ func TestFlushDrainsAllDescriptors(t *testing.T) {
 		}
 		files = append(files, f)
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for i := range files {
@@ -309,7 +310,7 @@ func TestFlushDrainsAllDescriptors(t *testing.T) {
 
 func TestStatsAccounting(t *testing.T) {
 	c, srv := pipePair(t, Config{Mode: ModeWorkQueue, Workers: 2})
-	f, _ := c.Open("acct")
+	f, _ := c.Open(context.Background(), "acct")
 	payload := make([]byte, 10000)
 	_, _ = f.Write(payload)
 	buf := make([]byte, 4000)
@@ -329,7 +330,7 @@ func TestStatsAccounting(t *testing.T) {
 
 func TestOpenValidation(t *testing.T) {
 	c, _ := pipePair(t, Config{})
-	if _, err := c.Open(""); !errors.Is(err, EINVAL) {
+	if _, err := c.Open(context.Background(), ""); !errors.Is(err, EINVAL) {
 		t.Fatalf("empty name: %v", err)
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -68,7 +69,7 @@ func spillPair(t *testing.T, fs *fakeSpill) (*Client, *Server) {
 func TestSpillAbsorbsAdmissionMiss(t *testing.T) {
 	fs := &fakeSpill{}
 	c, s := spillPair(t, fs)
-	f, err := c.Open("burst")
+	f, err := c.Open(context.Background(), "burst")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestSpillAbsorbsAdmissionMiss(t *testing.T) {
 func TestSpillDrainFailureIsDeferred(t *testing.T) {
 	fs := &fakeSpill{}
 	c, s := spillPair(t, fs)
-	f, err := c.Open("burst")
+	f, err := c.Open(context.Background(), "burst")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestSpillDrainFailureIsDeferred(t *testing.T) {
 func TestSpillRefusalFallsBackToDegrade(t *testing.T) {
 	fs := &fakeSpill{refuse: errors.New("wal full")}
 	c, s := spillPair(t, fs)
-	f, err := c.Open("burst")
+	f, err := c.Open(context.Background(), "burst")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestSpillOrderingSerializesWithWAL(t *testing.T) {
 		Spill:      fs,
 	}
 	c, s := pipePair(t, cfg)
-	f, err := c.Open("burst")
+	f, err := c.Open(context.Background(), "burst")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestSpillOrderingSerializesWithWAL(t *testing.T) {
 func TestStageAttribution(t *testing.T) {
 	t.Run("degrade", func(t *testing.T) {
 		c, s := spillPair(t, nil) // no spiller: admission miss degrades
-		f, err := c.Open("burst")
+		f, err := c.Open(context.Background(), "burst")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -260,7 +261,7 @@ func TestStageAttribution(t *testing.T) {
 	t.Run("spill", func(t *testing.T) {
 		fs := &fakeSpill{}
 		c, s := spillPair(t, fs)
-		f, err := c.Open("burst")
+		f, err := c.Open(context.Background(), "burst")
 		if err != nil {
 			t.Fatal(err)
 		}

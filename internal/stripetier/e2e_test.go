@@ -2,6 +2,7 @@ package stripetier
 
 import (
 	"bytes"
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -64,7 +65,7 @@ func TestFailoverEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	f, err := cl.Open("checkpoint/rank0000")
+	f, err := cl.Open(context.Background(), "checkpoint/rank0000")
 	if err != nil {
 		t.Fatal(err)
 	}

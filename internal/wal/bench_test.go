@@ -10,6 +10,7 @@ package wal
 // iterations are independent.
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -68,7 +69,7 @@ func runBurstBench(b *testing.B, withSpill bool) {
 		b.Cleanup(func() { _ = lg.Close() })
 	}
 	c := benchServer(b, lg, backend)
-	f, err := c.Open("burst")
+	f, err := c.Open(context.Background(), "burst")
 	if err != nil {
 		b.Fatal(err)
 	}

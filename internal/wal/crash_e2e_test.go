@@ -16,6 +16,7 @@ package wal
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"os/exec"
@@ -187,7 +188,7 @@ func runBurst(t *testing.T, addr string, nData int) []bool {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	plug, err := c.Open("plug")
+	plug, err := c.Open(context.Background(), "plug")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func runBurst(t *testing.T, addr string, nData int) []bool {
 			t.Fatalf("plug write %d: %v", i, err)
 		}
 	}
-	data, err := c.Open("data")
+	data, err := c.Open(context.Background(), "data")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func verifyRecovered(t *testing.T, addr string, acked []bool) int {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	f, err := c.Open("data")
+	f, err := c.Open(context.Background(), "data")
 	if err != nil {
 		t.Fatal(err)
 	}
