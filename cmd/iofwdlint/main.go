@@ -2,8 +2,11 @@
 // internal/analysis) over Go packages. It mechanically enforces the
 // invariants the forwarding stack's correctness rests on: sim determinism
 // (simclock), no blocking under locks (lockhold), metric naming
-// (metricname), wire-error classification (errnowrap), and opcode
-// exhaustiveness (opexhaustive).
+// (metricname), wire-error classification (errnofact), opcode
+// exhaustiveness (opexhaustive), and trace/label formatting discipline
+// (tracefmt). metricname and errnofact exchange cross-package facts;
+// under go vet those flow through per-package .vetx files, so both
+// drivers report the same cross-package findings.
 //
 // Standalone:
 //
@@ -22,8 +25,10 @@
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -36,9 +41,13 @@ func main() {
 	// flag set with -flags (a JSON array of flag descriptors; we expose
 	// none) before handing it package configs.
 	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
-		// The go command insists on a trailing buildID= field; "do-not-cache"
-		// keeps vet from caching results across tool rebuilds.
-		fmt.Printf("iofwdlint version devel buildID=do-not-cache\n")
+		// The go command keys its vet result cache (including the .vetx
+		// fact files) on the trailing buildID= field, so print a content
+		// hash of this executable: unchanged tool -> cache hits, rebuilt
+		// tool -> full re-vet. Falling back to "do-not-cache" on error
+		// disables caching rather than serving stale results.
+		//lint:allow tracefmt buildID= is the go command's required field name, not a trace key
+		fmt.Printf("iofwdlint version devel buildID=%s\n", toolBuildID())
 		return
 	}
 	if len(os.Args) == 2 && os.Args[1] == "-flags" {
@@ -69,6 +78,25 @@ func main() {
 	os.Exit(standalone(args))
 }
 
+// toolBuildID hashes the running executable so go vet's cache key tracks
+// the tool's actual contents.
+func toolBuildID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "do-not-cache"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "do-not-cache"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "do-not-cache"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
 func standalone(patterns []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -83,7 +111,10 @@ func standalone(patterns []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	findings := analysis.Run(load.Targets(pkgs), fset, analysis.Analyzers(), analysis.Options{})
+	// The full deps-first package list (not just the targets) goes to the
+	// runner: module-local dependencies are analyzed facts-only so targets
+	// see their facts, mirroring what go vet provides through .vetx files.
+	findings := analysis.Run(pkgs, fset, analysis.Analyzers(), analysis.Options{})
 	for _, f := range findings {
 		fmt.Fprintln(os.Stderr, f)
 	}

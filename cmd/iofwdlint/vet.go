@@ -10,6 +10,8 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/analysis"
 )
@@ -33,11 +35,22 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// modulePath gates which packages the vet driver fully analyzes. Std and
+// third-party packages get an empty .vetx and no analysis — the suite's
+// facts only describe this module's objects.
+const modulePath = "repro"
+
+func isModulePackage(importPath string) bool {
+	return importPath == modulePath || strings.HasPrefix(importPath, modulePath+"/")
+}
+
 // vetMode analyzes one package described by a vet .cfg file: parse its
 // GoFiles, type-check against the export data the go command already
-// compiled, run the suite, print findings. The facts output file must be
-// created even though the suite exchanges no facts — the driver checks for
-// it.
+// compiled, seed the fact store from the dependencies' .vetx files
+// (PackageVetx), run the suite, write the accumulated facts to VetxOutput,
+// and print findings. Each .vetx carries the full transitive fact closure
+// known after its package's analysis, so facts cross any number of import
+// hops even though go vet only names direct imports in PackageVetx.
 func vetMode(cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -49,26 +62,16 @@ func vetMode(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "iofwdlint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
+
+	// Non-module packages carry no iofwdlint facts and get no diagnostics:
+	// write an empty .vetx (the driver checks for it) and stop.
+	if !isModulePackage(cfg.ImportPath) {
+		return writeVetx(cfg.VetxOutput, analysis.NewFacts())
 	}
 
-	// Scope early: skip type-checking packages no analyzer cares about.
-	anyInScope := false
-	for _, a := range analysis.Analyzers() {
-		if a.Scope == nil || a.Scope(cfg.ImportPath) {
-			anyInScope = true
-			break
-		}
-	}
-	if !anyInScope {
-		return 0
+	facts := analysis.NewFacts()
+	if code := readDepFacts(&cfg, facts); code != 0 {
+		return code
 	}
 
 	fset := token.NewFileSet()
@@ -77,7 +80,7 @@ func vetMode(cfgPath string) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return writeVetx(cfg.VetxOutput, facts)
 			}
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -108,15 +111,66 @@ func vetMode(cfgPath string) int {
 	}
 	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil && cfg.SucceedOnTypecheckFailure {
-		return 0
+		return writeVetx(cfg.VetxOutput, facts)
 	}
 
-	findings := analysis.RunSingle(cfg.ImportPath, files, pkg, info, fset)
+	// VetxOnly: the go command wants this package's facts for a downstream
+	// target, not its diagnostics. The suite still runs fact-declaring
+	// analyzers in full; reporting is suppressed inside RunSingle.
+	findings := analysis.RunSingle(cfg.ImportPath, files, pkg, info, fset, facts, cfg.VetxOnly)
+	if code := writeVetx(cfg.VetxOutput, facts); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
 	for _, f := range findings {
 		fmt.Fprintln(os.Stderr, f)
 	}
 	if len(findings) > 0 {
 		return 2
+	}
+	return 0
+}
+
+// readDepFacts merges the dependencies' .vetx files into facts, in sorted
+// import-path order for determinism. A missing or corrupt file is a hard
+// driver error — silently dropping facts would make go vet report fewer
+// findings than the standalone driver with no indication why.
+func readDepFacts(cfg *vetConfig, facts *analysis.Facts) int {
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		data, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iofwdlint: missing facts for dependency %q: %v (stale go vet build cache? try go clean -cache)\n", path, err)
+			return 1
+		}
+		if err := facts.DecodeVetx(data); err != nil {
+			fmt.Fprintf(os.Stderr, "iofwdlint: reading facts for dependency %q from %s: %v\n", path, cfg.PackageVetx[path], err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// writeVetx persists the fact store to path. The go command requires the
+// file to exist even when empty.
+func writeVetx(path string, facts *analysis.Facts) int {
+	if path == "" {
+		return 0
+	}
+	data, err := facts.EncodeVetx()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iofwdlint: encoding facts: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
 	return 0
 }

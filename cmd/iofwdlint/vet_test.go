@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// writeCfg marshals a vetConfig into dir and returns its path.
+func writeCfg(t *testing.T, dir string, cfg vetConfig) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestVetModeMissingVetx: a dependency .vetx named by the config but absent
+// on disk (a stale or manually cleaned go build cache) must be a hard,
+// explained driver error — not a silent run with fewer facts that would
+// make go vet under-report relative to the standalone driver.
+func TestVetModeMissingVetx(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeCfg(t, dir, vetConfig{
+		ImportPath:  "repro/internal/core",
+		PackageVetx: map[string]string{"repro/internal/telemetry": filepath.Join(dir, "no-such.vetx")},
+		VetxOutput:  filepath.Join(dir, "out.vetx"),
+	})
+	if rc := vetMode(cfg); rc != 1 {
+		t.Fatalf("vetMode with missing dependency vetx = %d, want 1", rc)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "out.vetx")); err == nil {
+		t.Error("driver wrote a vetx output despite failing to load dependency facts")
+	}
+}
+
+// TestVetModeCorruptVetx: garbage in a dependency .vetx degrades to a clear
+// decode error, not a crash or a silent fact drop.
+func TestVetModeCorruptVetx(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.vetx")
+	if err := os.WriteFile(bad, []byte("not a vetx stream"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfg := writeCfg(t, dir, vetConfig{
+		ImportPath:  "repro/internal/core",
+		PackageVetx: map[string]string{"repro/internal/telemetry": bad},
+	})
+	if rc := vetMode(cfg); rc != 1 {
+		t.Fatalf("vetMode with corrupt dependency vetx = %d, want 1", rc)
+	}
+}
+
+// TestVetModeNonModulePackage: std and third-party packages are skipped
+// with an empty (but present) vetx — the go command requires the file.
+func TestVetModeNonModulePackage(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "fmt.vetx")
+	cfg := writeCfg(t, dir, vetConfig{ImportPath: "fmt", VetxOutput: out})
+	if rc := vetMode(cfg); rc != 0 {
+		t.Fatalf("vetMode on std package = %d, want 0", rc)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("vetx output not written: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "iofwdlint.vetx") {
+		t.Errorf("vetx output %q does not carry the iofwdlint magic", data)
+	}
+}
+
+var findingLineRE = regexp.MustCompile(`\.go:\d+:\d+: `)
+
+// TestDriverParity is the acceptance gate for the fact subsystem: the
+// standalone driver and go vet -vettool must report the identical findings
+// on the seeded cross-package fixture (a metricname kind conflict and an
+// errnofact violation spanning two packages).
+func TestDriverParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and runs go vet; skipped in -short")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "iofwdlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/iofwdlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building iofwdlint: %v\n%s", err, out)
+	}
+
+	const pattern = "./internal/analysis/testdata/src/factparity/..."
+
+	standalone := exec.Command(bin, pattern)
+	standalone.Dir = root
+	saOut, _ := standalone.CombinedOutput()
+	saLines := findingLines(root, string(saOut))
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, pattern)
+	vet.Dir = root
+	vetOut, _ := vet.CombinedOutput()
+	vetLines := findingLines(root, string(vetOut))
+
+	if len(saLines) == 0 {
+		t.Fatalf("standalone driver found nothing on the seeded fixture:\n%s", saOut)
+	}
+	if strings.Join(saLines, "\n") != strings.Join(vetLines, "\n") {
+		t.Errorf("drivers disagree\nstandalone:\n  %s\ngo vet:\n  %s",
+			strings.Join(saLines, "\n  "), strings.Join(vetLines, "\n  "))
+	}
+	joined := strings.Join(saLines, "\n")
+	for _, want := range []string{
+		"metricname: metric \"iofwd_parity_ops_ns\" registered as gauge here but as histogram",
+		"errnofact: returns the error from a.Fetch",
+		"errnofact: errors.New on a core error path",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("seeded finding missing from both drivers: %q\ngot:\n%s", want, joined)
+		}
+	}
+}
+
+// findingLines extracts diagnostic lines from driver output and normalizes
+// file paths to be root-relative, so the standalone driver's absolute
+// positions compare equal to go vet's relative ones.
+func findingLines(root, out string) []string {
+	var lines []string
+	for _, line := range strings.Split(out, "\n") {
+		if !findingLineRE.MatchString(line) {
+			continue
+		}
+		line = strings.TrimPrefix(line, root+string(filepath.Separator))
+		lines = append(lines, line)
+	}
+	sort.Strings(lines)
+	return lines
+}

@@ -1,19 +1,21 @@
 // Package analysis is iofwdlint: a suite of static analyzers that turn the
 // repository's determinism, locking, error-classification, and metric-naming
 // invariants into mechanical checks. The API deliberately mirrors
-// golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic) so the suite
-// can migrate onto the upstream framework wholesale if the dependency ever
-// becomes available; until then the stdlib-only driver in this package and
-// the loader in internal/analysis/load stand in for it.
+// golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic / Fact) so
+// the suite can migrate onto the upstream framework wholesale if the
+// dependency ever becomes available; until then the stdlib-only driver in
+// this package and the loader in internal/analysis/load stand in for it.
 //
 // Suppression: a diagnostic is silenced by a directive comment
 //
 //	//lint:allow <analyzer> <reason>
 //
 // placed either at the end of the offending line or alone on the line
-// directly above it. The reason is mandatory — an allow without one is
-// itself reported — so every exception is documented at the point it is
-// granted.
+// directly above it. A directive covers the full extent of the statement it
+// is attached to, so a finding on the third line of a multi-line call is
+// still suppressed by the directive above the call. The reason is
+// mandatory — an allow without one is itself reported — so every exception
+// is documented at the point it is granted.
 package analysis
 
 import (
@@ -41,6 +43,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	facts *Facts
 	diags []Diagnostic
 }
 
@@ -49,17 +52,24 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// Analyzer is one named check. Analyzers may keep cross-package state
-// (metricname does, for duplicate detection), so instances must not be
-// shared between concurrent drivers; obtain fresh ones from Analyzers().
+// Analyzer is one named check. Analyzers may keep per-run state, so
+// instances must not be shared between concurrent drivers; obtain fresh
+// ones from Analyzers().
 type Analyzer struct {
 	Name string
 	Doc  string
-	// Scope reports whether the analyzer applies to a package import path.
-	// A nil Scope means every package. The driver consults it; fixture
-	// tests bypass it so testdata packages are always analyzed.
+	// Scope reports whether the analyzer reports diagnostics for a package
+	// import path. A nil Scope means every package. Analyzers that declare
+	// FactTypes still *run* on out-of-scope module packages — facts must be
+	// produced wherever the objects they describe live — but their
+	// diagnostics there are discarded. Fixture tests bypass Scope entirely.
 	Scope func(pkgPath string) bool
-	Run   func(*Pass) error
+	// FactTypes lists the fact types the analyzer exports or imports (one
+	// exemplar pointer per type). Declaring them opts the analyzer into
+	// running on every module package the driver loads, and is what makes
+	// its facts survive the vetx round-trip under go vet.
+	FactTypes []Fact
+	Run       func(*Pass) error
 }
 
 // Finding is a located, attributed diagnostic ready for printing.
@@ -79,10 +89,11 @@ func Analyzers() []*Analyzer {
 		NewSimclock(),
 		NewLockhold(),
 		NewMetricname(),
-		NewErrnowrap(),
+		NewErrnofact(),
 		NewOpexhaustive(),
 		NewGoroleak(),
 		NewCtxpropagate(),
+		NewTracefmt(),
 	}
 }
 
@@ -93,33 +104,54 @@ type Options struct {
 	IgnoreScope bool
 }
 
-// Run executes the analyzers over the target packages and returns the
-// surviving findings sorted by position. Allow directives are applied and
-// malformed directives are reported here, so every driver (CLI, vet shim,
-// fixture tests) shares identical suppression semantics.
+// Run executes the analyzers over the loaded packages and returns the
+// surviving findings sorted by position. pkgs should be the full
+// `go list -deps` output in dependency order (not just the targets):
+// module-local dependency packages are analyzed facts-only so targets can
+// import their facts, exactly as the vet driver sees them through .vetx
+// files. Allow directives are applied and malformed directives are
+// reported here, so every driver (CLI, vet shim, fixture tests) shares
+// identical suppression semantics.
 func Run(pkgs []*load.Package, fset *token.FileSet, analyzers []*Analyzer, opts Options) []Finding {
+	findings, _ := RunWithFacts(pkgs, fset, analyzers, opts)
+	return findings
+}
+
+// RunWithFacts is Run, additionally returning the fact store accumulated
+// across the run (analysistest asserts against it).
+func RunWithFacts(pkgs []*load.Package, fset *token.FileSet, analyzers []*Analyzer, opts Options) ([]Finding, *Facts) {
+	facts := NewFacts()
 	var findings []Finding
 	for _, pkg := range pkgs {
-		if !pkg.Target || pkg.Types == nil {
+		if pkg.Types == nil || pkg.Info == nil {
+			continue // external dep: checked API-only, no fact production
+		}
+		if !pkg.Target && !pkg.Local {
 			continue
 		}
-		findings = append(findings, runPackage(pkg.ImportPath, pkg.Syntax, pkg.Types, pkg.Info, fset, analyzers, opts)...)
+		fs := runPackage(pkg.ImportPath, pkg.Syntax, pkg.Types, pkg.Info, fset, analyzers, opts, facts, pkg.Target)
+		findings = append(findings, fs...)
 	}
 	sortFindings(findings)
-	return findings
+	return findings, facts
 }
 
 // RunSingle analyzes one pre-type-checked package: the vet -vettool path,
-// where the go command supplies per-package type information. Cross-package
-// checks (metricname kind conflicts) only see this one package here; the
-// standalone driver is the whole-repo authority.
-func RunSingle(importPath string, files []*ast.File, pkg *types.Package, info *types.Info, fset *token.FileSet) []Finding {
-	findings := runPackage(importPath, files, pkg, info, fset, Analyzers(), Options{})
+// where the go command supplies per-package type information and facts
+// arrive through the .vetx files of the package's dependencies. When
+// factsOnly is set (the .cfg's VetxOnly), only fact-declaring analyzers
+// run and no diagnostics are reported — the package is being analyzed for
+// its facts, not vetted itself.
+func RunSingle(importPath string, files []*ast.File, pkg *types.Package, info *types.Info, fset *token.FileSet, facts *Facts, factsOnly bool) []Finding {
+	if facts == nil {
+		facts = NewFacts()
+	}
+	findings := runPackage(importPath, files, pkg, info, fset, Analyzers(), Options{}, facts, !factsOnly)
 	sortFindings(findings)
 	return findings
 }
 
-func runPackage(importPath string, files []*ast.File, pkg *types.Package, info *types.Info, fset *token.FileSet, analyzers []*Analyzer, opts Options) []Finding {
+func runPackage(importPath string, files []*ast.File, pkg *types.Package, info *types.Info, fset *token.FileSet, analyzers []*Analyzer, opts Options, facts *Facts, report bool) []Finding {
 	// The invariants guard production code; test files use throwaway metric
 	// names, real clocks for timeouts, and ad-hoc errors by design. The
 	// standalone loader never feeds test files, but the vet -vettool path
@@ -128,7 +160,11 @@ func runPackage(importPath string, files []*ast.File, pkg *types.Package, info *
 	var findings []Finding
 	dirs := collectDirectives(fset, files)
 	for _, a := range analyzers {
-		if !opts.IgnoreScope && a.Scope != nil && !a.Scope(importPath) {
+		inScope := opts.IgnoreScope || a.Scope == nil || a.Scope(importPath)
+		// Out-of-scope and facts-only passes still run fact-declaring
+		// analyzers: their facts describe this package's objects for
+		// importers to consume. Everything else is skipped outright.
+		if (!inScope || !report) && len(a.FactTypes) == 0 {
 			continue
 		}
 		pass := &Pass{
@@ -137,6 +173,7 @@ func runPackage(importPath string, files []*ast.File, pkg *types.Package, info *
 			Files:    files,
 			Pkg:      pkg,
 			Info:     info,
+			facts:    facts,
 		}
 		if err := a.Run(pass); err != nil {
 			findings = append(findings, Finding{
@@ -144,6 +181,9 @@ func runPackage(importPath string, files []*ast.File, pkg *types.Package, info *
 				Message:  fmt.Sprintf("analyzer failed: %v", err),
 			})
 			continue
+		}
+		if !inScope || !report {
+			continue // fact production only; diagnostics discarded
 		}
 		for _, d := range pass.diags {
 			pos := fset.Position(d.Pos)
@@ -153,7 +193,10 @@ func runPackage(importPath string, files []*ast.File, pkg *types.Package, info *
 			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
 		}
 	}
-	return append(findings, dirs.malformed...)
+	if report {
+		findings = append(findings, dirs.malformed...)
+	}
+	return findings
 }
 
 func sortFindings(findings []Finding) {
@@ -191,11 +234,17 @@ type directiveSet struct {
 const directivePrefix = "//lint:allow"
 
 // collectDirectives scans file comments for allow directives. A directive
-// covers its own line and the line below it (so it can trail the offending
-// statement or sit on its own line above).
+// covers its own line, the line below it (so it can trail the offending
+// statement or sit on its own line above), and — when either of those
+// lines starts a statement that spans further lines — the statement's full
+// extent, so a finding deep inside a multi-line call is still suppressed
+// by the directive above the call. For block statements (if/for/switch,
+// func declarations) the extent stops at the opening brace: a directive
+// above a loop covers its multi-line header, not its whole body.
 func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
 	ds := &directiveSet{byLine: make(map[string]map[int][]string)}
 	for _, f := range files {
+		var extent map[int]int // statement start line -> last line
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, directivePrefix) {
@@ -212,18 +261,72 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
 					})
 					continue
 				}
+				if extent == nil {
+					extent = statementExtents(fset, f)
+				}
 				name := parts[0]
 				lines := ds.byLine[pos.Filename]
 				if lines == nil {
 					lines = make(map[int][]string)
 					ds.byLine[pos.Filename] = lines
 				}
-				lines[pos.Line] = append(lines[pos.Line], name)
-				lines[pos.Line+1] = append(lines[pos.Line+1], name)
+				cover := func(line int) {
+					for _, have := range lines[line] {
+						if have == name {
+							return
+						}
+					}
+					lines[line] = append(lines[line], name)
+				}
+				// Own line and the next, then out to the end of any
+				// multi-line statement starting on either.
+				for _, start := range []int{pos.Line, pos.Line + 1} {
+					cover(start)
+					for l := start + 1; l <= extent[start]; l++ {
+						cover(l)
+					}
+				}
 			}
 		}
 	}
 	return ds
+}
+
+// statementExtents maps the starting line of every multi-line statement
+// (and value spec) in f to its last line. Block-bodied constructs map to
+// the line of their opening brace instead, so a directive never silently
+// blankets a whole loop or function body.
+func statementExtents(fset *token.FileSet, f *ast.File) map[int]int {
+	extent := make(map[int]int)
+	record := func(from, to token.Pos) {
+		s, e := fset.Position(from).Line, fset.Position(to).Line
+		if e > s && e > extent[s] {
+			extent[s] = e
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt, *ast.AssignStmt, *ast.ReturnStmt, *ast.GoStmt,
+			*ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.ValueSpec:
+			record(n.Pos(), n.End())
+		case *ast.IfStmt:
+			record(n.Pos(), n.Body.Lbrace)
+		case *ast.ForStmt:
+			record(n.Pos(), n.Body.Lbrace)
+		case *ast.RangeStmt:
+			record(n.Pos(), n.Body.Lbrace)
+		case *ast.SwitchStmt:
+			record(n.Pos(), n.Body.Lbrace)
+		case *ast.TypeSwitchStmt:
+			record(n.Pos(), n.Body.Lbrace)
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				record(n.Pos(), n.Body.Lbrace)
+			}
+		}
+		return true
+	})
+	return extent
 }
 
 // allows reports whether a directive for analyzer covers pos.

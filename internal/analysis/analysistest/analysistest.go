@@ -1,16 +1,20 @@
 // Package analysistest runs an analyzer over a fixture package under
-// internal/analysis/testdata/src and compares its diagnostics against
-// `// want "regexp"` comments in the fixture, in the style of
+// internal/analysis/testdata/src and compares its diagnostics and exported
+// facts against `// want` comments in the fixture, in the style of
 // golang.org/x/tools/go/analysis/analysistest.
 //
 // Expectation syntax: a comment anywhere on a line of the form
 //
-//	// want "re1" "re2" ...
+//	// want "re1" `re2` name:"re3" ...
 //
-// requires exactly those diagnostics (by regexp match against the message)
-// on that line. Lines without a want comment must produce no diagnostics;
-// that is how `//lint:allow` suppression is asserted — the violation is
-// present but no want comment accompanies it.
+// Each token is either a diagnostic expectation (a bare "regexp" or
+// `regexp`) requiring a matching diagnostic on that line, or a fact
+// expectation (name:"regexp", where name is the analyzer's name) requiring
+// a fact whose fmt.Sprint rendering matches, attached to an object
+// declared on that line (object facts) or to the package clause (package
+// facts). Lines without a want comment must produce no diagnostics and
+// export no facts; that is how `//lint:allow` suppression is asserted —
+// the violation is present but no want comment accompanies it.
 package analysistest
 
 import (
@@ -18,7 +22,6 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
-	"sort"
 	"strings"
 	"testing"
 
@@ -26,12 +29,23 @@ import (
 	"repro/internal/analysis/load"
 )
 
-var wantRE = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
-var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+var wantCommentRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
 
-// Run loads testdata/src/<fixture>/... relative to the analysis package,
-// applies a fresh analyzer from mk, and checks diagnostics against the
-// fixture's want comments. Scope is bypassed: fixtures are always analyzed.
+// wantTokenRE matches one expectation token at the start of the remainder:
+// an optional analyzer-name prefix, then a quoted or backquoted pattern.
+var wantTokenRE = regexp.MustCompile("^(?:([A-Za-z_][A-Za-z0-9_]*):)?(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// expectation is one parsed want token.
+type expectation struct {
+	fact bool // name:"re" token — matches a fact, not a diagnostic
+	name string
+	re   *regexp.Regexp
+}
+
+// Run loads testdata/src/<fixture>/... relative to the module root,
+// applies a fresh analyzer from mk, and checks diagnostics and facts
+// against the fixture's want comments. Scope is bypassed: fixtures are
+// always analyzed.
 func Run(t *testing.T, mk func() *analysis.Analyzer, fixture string) {
 	t.Helper()
 	root := moduleRoot(t)
@@ -50,60 +64,114 @@ func Run(t *testing.T, mk func() *analysis.Analyzer, fixture string) {
 		}
 	}
 
-	findings := analysis.Run(targets, fset, []*analysis.Analyzer{mk()}, analysis.Options{IgnoreScope: true})
+	a := mk()
+	findings, facts := analysis.RunWithFacts(pkgs, fset, []*analysis.Analyzer{a}, analysis.Options{IgnoreScope: true})
 
 	type key struct {
 		file string
 		line int
 	}
-	got := make(map[key][]string)
+	gotDiags := make(map[key][]string)
 	for _, f := range findings {
 		k := key{f.Pos.Filename, f.Pos.Line}
-		got[k] = append(got[k], f.Message)
+		gotDiags[k] = append(gotDiags[k], f.Message)
 	}
 
-	want := make(map[key][]*regexp.Regexp)
+	// Facts are asserted only at positions inside the fixture's own files:
+	// module-local dependencies outside the fixture may legitimately export
+	// facts the fixture never mentions.
+	fixtureFiles := make(map[string]bool)
+	for _, p := range targets {
+		for _, f := range p.GoFiles {
+			fixtureFiles[f] = true
+		}
+	}
+	gotFacts := make(map[key][]string)
+	addFact := func(pos int, file string, fact analysis.Fact) {
+		if !fixtureFiles[file] {
+			return
+		}
+		k := key{file, pos}
+		gotFacts[k] = append(gotFacts[k], fmt.Sprint(fact))
+	}
+	for _, pf := range facts.AllPackage() {
+		if pf.Pos.IsValid() {
+			p := fset.Position(pf.Pos)
+			addFact(p.Line, p.Filename, pf.Fact)
+		}
+	}
+	for _, of := range facts.AllObject() {
+		if of.Pos.IsValid() {
+			p := fset.Position(of.Pos)
+			addFact(p.Line, p.Filename, of.Fact)
+		}
+	}
+
+	want := make(map[key][]expectation)
 	for _, p := range targets {
 		for _, file := range p.GoFiles {
-			for k, res := range parseWants(t, file) {
-				want[k] = res
+			for k, exps := range parseWants(t, file) {
+				want[k] = exps
 			}
 		}
 	}
 
-	// Every want must be matched by exactly one diagnostic on its line, and
-	// every diagnostic must be wanted.
-	for k, res := range want {
-		msgs := got[k]
-		for _, re := range res {
-			idx := -1
-			for i, m := range msgs {
-				if re.MatchString(m) {
-					idx = i
-					break
+	// Every want must be matched by exactly one diagnostic or fact on its
+	// line, and every diagnostic and fixture-file fact must be wanted.
+	for k, exps := range want {
+		diags, fcts := gotDiags[k], gotFacts[k]
+		for _, exp := range exps {
+			if exp.fact {
+				if exp.name != a.Name {
+					t.Errorf("%s:%d: fact want %q names analyzer %q, but running %q", k.file, k.line, exp.re, exp.name, a.Name)
+					continue
 				}
-			}
-			if idx < 0 {
-				t.Errorf("%s:%d: no diagnostic matching %q (got %v)", k.file, k.line, re, msgs)
+				idx := matchIndex(fcts, exp.re)
+				if idx < 0 {
+					t.Errorf("%s:%d: no fact matching %q (got %v)", k.file, k.line, exp.re, fcts)
+					continue
+				}
+				fcts = append(fcts[:idx], fcts[idx+1:]...)
 				continue
 			}
-			msgs = append(msgs[:idx], msgs[idx+1:]...)
+			idx := matchIndex(diags, exp.re)
+			if idx < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %v)", k.file, k.line, exp.re, diags)
+				continue
+			}
+			diags = append(diags[:idx], diags[idx+1:]...)
 		}
-		if len(msgs) > 0 {
-			t.Errorf("%s:%d: unexpected extra diagnostics %v", k.file, k.line, msgs)
+		if len(diags) > 0 {
+			t.Errorf("%s:%d: unexpected extra diagnostics %v", k.file, k.line, diags)
 		}
-		delete(got, k)
+		if len(fcts) > 0 {
+			t.Errorf("%s:%d: unexpected extra facts %v", k.file, k.line, fcts)
+		}
+		delete(gotDiags, k)
+		delete(gotFacts, k)
 	}
-	for k, msgs := range got {
+	for k, msgs := range gotDiags {
 		t.Errorf("%s:%d: unexpected diagnostics %v", k.file, k.line, msgs)
 	}
+	for k, fcts := range gotFacts {
+		t.Errorf("%s:%d: unexpected facts %v", k.file, k.line, fcts)
+	}
+}
+
+func matchIndex(msgs []string, re *regexp.Regexp) int {
+	for i, m := range msgs {
+		if re.MatchString(m) {
+			return i
+		}
+	}
+	return -1
 }
 
 // parseWants extracts want expectations from one fixture file.
 func parseWants(t *testing.T, file string) map[struct {
 	file string
 	line int
-}][]*regexp.Regexp {
+}][]expectation {
 	t.Helper()
 	type key = struct {
 		file string
@@ -113,25 +181,39 @@ func parseWants(t *testing.T, file string) map[struct {
 	if err != nil {
 		t.Fatalf("reading fixture %s: %v", file, err)
 	}
-	out := make(map[key][]*regexp.Regexp)
+	out := make(map[key][]expectation)
 	for i, line := range strings.Split(string(data), "\n") {
-		m := wantRE.FindStringSubmatch(line)
+		m := wantCommentRE.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
-		var res []*regexp.Regexp
-		for _, am := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
-			pat, err := unescape(am[1])
-			if err != nil {
-				t.Fatalf("%s:%d: bad want pattern %q: %v", file, i+1, am[1], err)
+		rest := m[1]
+		var exps []expectation
+		for {
+			rest = strings.TrimLeft(rest, " \t")
+			tok := wantTokenRE.FindStringSubmatch(rest)
+			if tok == nil {
+				break
+			}
+			rest = rest[len(tok[0]):]
+			pat := tok[3] // backquoted: raw
+			if tok[2] != "" || tok[3] == "" {
+				var err error
+				pat, err = unescape(tok[2])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", file, i+1, tok[2], err)
+				}
 			}
 			re, err := regexp.Compile(pat)
 			if err != nil {
 				t.Fatalf("%s:%d: bad want regexp %q: %v", file, i+1, pat, err)
 			}
-			res = append(res, re)
+			exps = append(exps, expectation{fact: tok[1] != "", name: tok[1], re: re})
 		}
-		out[key{file, i + 1}] = res
+		if len(exps) == 0 {
+			continue // prose containing the word "want", not an expectation
+		}
+		out[key{file, i + 1}] = exps
 	}
 	return out
 }
@@ -176,7 +258,9 @@ func moduleRoot(t *testing.T) string {
 
 // Findings runs analyzers over real repo packages (not fixtures); the
 // revert-guard tests in other packages use it to assert the suite stays
-// green on the committed tree.
+// green on the committed tree. The full deps-first package list goes to
+// the runner so cross-package facts flow exactly as they do for the CLI
+// drivers.
 func Findings(t *testing.T, patterns ...string) []analysis.Finding {
 	t.Helper()
 	root := moduleRoot(t)
@@ -184,7 +268,5 @@ func Findings(t *testing.T, patterns ...string) []analysis.Finding {
 	if err != nil {
 		t.Fatal(err)
 	}
-	targets := load.Targets(pkgs)
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
-	return analysis.Run(targets, fset, analysis.Analyzers(), analysis.Options{})
+	return analysis.Run(pkgs, fset, analysis.Analyzers(), analysis.Options{})
 }

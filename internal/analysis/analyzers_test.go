@@ -20,8 +20,19 @@ func TestMetricnameFixture(t *testing.T) {
 	analysistest.Run(t, analysis.NewMetricname, "metricname")
 }
 
-func TestErrnowrapFixture(t *testing.T) {
-	analysistest.Run(t, analysis.NewErrnowrap, "errnowrap")
+func TestErrnofactFixture(t *testing.T) {
+	analysistest.Run(t, analysis.NewErrnofact, "errnofact")
+}
+
+func TestTracefmtFixture(t *testing.T) {
+	analysistest.Run(t, analysis.NewTracefmt, "tracefmt")
+}
+
+// TestFactDiamondFixture proves topological fact propagation: both leaves'
+// MetricFamilies facts must be visible when the root of the import diamond
+// is analyzed, so both of root's kind conflicts are reported.
+func TestFactDiamondFixture(t *testing.T) {
+	analysistest.Run(t, analysis.NewMetricname, "factdiamond")
 }
 
 func TestOpexhaustiveFixture(t *testing.T) {
@@ -39,7 +50,9 @@ func TestCtxpropagateFixture(t *testing.T) {
 // TestSuiteCleanOnRepo is the revert guard: the committed tree must be
 // free of findings. Reintroducing global math/rand in internal/sim, a
 // blocking op under a core lock, a malformed metric name, an unwrapped
-// core error, or an opcode gap turns this test red — the same signal CI's
+// core error (including one returned from another package, via AdHocError
+// facts), an off-vocabulary trace key or stage name, or an opcode gap
+// turns this test red — the same signal CI's
 // lint job gives, but available to a plain `go test ./...`.
 func TestSuiteCleanOnRepo(t *testing.T) {
 	if testing.Short() {
@@ -80,9 +93,10 @@ func TestScopes(t *testing.T) {
 		{"lockhold", "repro/internal/telemetry", true},
 		{"lockhold", "repro/internal/sim", false},
 
-		{"errnowrap", "repro/internal/core", true},
-		{"errnowrap", "repro/internal/wal", true},         // WAL I/O errors surface as deferred wire errors
-		{"errnowrap", "repro/internal/core/fault", false}, // spec-parse errors are operator-facing
+		{"errnofact", "repro/internal/core", true},
+		{"errnofact", "repro/internal/wal", true},                                // WAL I/O errors surface as deferred wire errors
+		{"errnofact", "repro/internal/core/fault", false},                        // spec-parse errors are operator-facing
+		{"errnofact", "repro/internal/analysis/testdata/src/factparity/a", true}, // parity fixtures stay in scope under both drivers
 
 		{"opexhaustive", "repro/internal/core", true},
 		{"opexhaustive", "repro/internal/telemetry", false},
@@ -100,7 +114,7 @@ func TestScopes(t *testing.T) {
 	for _, c := range cases {
 		scope := byName[c.analyzer]
 		if scope == nil {
-			if c.analyzer == "metricname" {
+			if c.analyzer == "metricname" || c.analyzer == "tracefmt" {
 				continue // nil scope = repo-wide
 			}
 			t.Fatalf("analyzer %s missing or has nil scope", c.analyzer)
@@ -111,6 +125,9 @@ func TestScopes(t *testing.T) {
 	}
 	if byName["metricname"] != nil {
 		t.Error("metricname should be repo-wide (nil scope)")
+	}
+	if byName["tracefmt"] != nil {
+		t.Error("tracefmt should be repo-wide (nil scope)")
 	}
 }
 
@@ -129,7 +146,7 @@ func TestAnalyzerDocs(t *testing.T) {
 			t.Errorf("analyzer name %q contains whitespace (breaks //lint:allow parsing)", a.Name)
 		}
 	}
-	for _, want := range []string{"simclock", "lockhold", "metricname", "errnowrap", "opexhaustive", "goroleak"} {
+	for _, want := range []string{"simclock", "lockhold", "metricname", "errnofact", "opexhaustive", "goroleak", "ctxpropagate", "tracefmt"} {
 		if !names[want] {
 			t.Errorf("suite missing analyzer %s", want)
 		}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AdHocError is an object fact on an exported package-level function (or
+// method): somewhere in its body it constructs an error that carries no
+// Errno classification — errors.New, or fmt.Errorf without %w — and the
+// function returns an error, so that unclassifiable value can escape to
+// callers. Packages on the wire path (internal/core, internal/wal) must
+// not return such a callee's error unwrapped.
+type AdHocError struct {
+	At string // "file.go:line" of the first ad-hoc construction
+}
+
+// AFact marks AdHocError as a fact.
+func (*AdHocError) AFact() {}
+
+func (f *AdHocError) String() string { return "adhoc(" + f.At + ")" }
+
+// NewErrnofact returns the errnofact analyzer (the fact-aware successor of
+// errnowrap): errors constructed inside functions of internal/core cross
+// the wire-protocol boundary (handler returns become reply errnos via
+// toErrno; client failures must satisfy errors.Is against the typed roots),
+// so they must carry their classification in the wrap chain. Concretely:
+//
+//   - fmt.Errorf must use %w to wrap an Errno or one of the typed roots
+//     (ErrConnectionLost, ErrClientClosed, ErrOpTimeout); without %w the
+//     chain is cut and toErrno / errors.Is silently degrade to EIO.
+//   - errors.New inside a function creates an unclassifiable error; the
+//     only legitimate errors.New calls are the package-level typed root
+//     declarations, which live outside function bodies and are not flagged.
+//   - returning another package's function-call result directly as an
+//     error is flagged when that function carries an AdHocError fact: the
+//     helper builds unclassifiable errors, so the caller must wrap the
+//     result with %w and an Errno before putting it on the wire. The facts
+//     are produced for every module package (that is what FactTypes opts
+//     into) and flow through .vetx files under go vet, so the check holds
+//     across package boundaries under both drivers.
+//
+// internal/wal is in scope for the same reason as core: its I/O failures
+// surface through descdb deferred errors and fsync replies, so a WAL error
+// that does not wrap core.EIO (or one of the wal typed roots) would reach
+// the client as an unclassifiable failure. Fixture packages under
+// internal/analysis/testdata are in scope so the standalone and vet
+// drivers can be diffed for parity on seeded violations without the
+// fixture-only IgnoreScope escape hatch.
+func NewErrnofact() *Analyzer {
+	return &Analyzer{
+		Name: "errnofact",
+		Doc:  "errors on internal/core's and internal/wal's wire paths must be Errno-typed or wrap a typed root with %w, including errors returned from other packages (AdHocError facts)",
+		Scope: func(path string) bool {
+			return path == "repro/internal/core" || path == "repro/internal/wal" ||
+				strings.Contains(path, "internal/analysis/testdata/")
+		},
+		FactTypes: []Fact{&AdHocError{}},
+		Run:       runErrnofact,
+	}
+}
+
+func runErrnofact(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			adHocAt := checkConstructionSites(pass, fd)
+			if adHocAt != "" && returnsError(pass, fd) {
+				if obj, ok := pass.Info.Defs[fd.Name]; ok {
+					pass.ExportObjectFact(obj, &AdHocError{At: adHocAt})
+				}
+			}
+			checkCrossPackageReturns(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkConstructionSites reports ad-hoc error constructions (errors.New,
+// fmt.Errorf without %w) inside fd and returns the short position of the
+// first one found ("" if none) for the exported fact.
+func checkConstructionSites(pass *Pass, fd *ast.FuncDecl) string {
+	first := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := pkgLevelFunc(pass, sel)
+		if fn == nil {
+			return true
+		}
+		switch fn.FullName() {
+		case "errors.New":
+			pass.Reportf(call.Pos(),
+				"errors.New on a core error path; return an Errno or wrap a typed root (ErrConnectionLost/ErrClientClosed/ErrOpTimeout) with %%w so errors.Is classification works")
+			if first == "" {
+				first = shortPos(pass.Fset, call.Pos())
+			}
+		case "fmt.Errorf":
+			if len(call.Args) == 0 {
+				return true
+			}
+			format, ok := stringLiteral(call.Args[0])
+			if ok && !strings.Contains(format, "%w") {
+				pass.Reportf(call.Pos(),
+					"fmt.Errorf without %%w on a core error path; wrap an Errno or typed root so toErrno and errors.Is keep classifying it")
+				if first == "" {
+					first = shortPos(pass.Fset, call.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return first
+}
+
+// returnsError reports whether fd's result list includes the error type.
+func returnsError(pass *Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// checkCrossPackageReturns flags `return otherpkg.F(...)` (and any return
+// operand that is directly a call into another package yielding an error)
+// when the callee carries an AdHocError fact: the helper's error is
+// unclassifiable and must be wrapped with %w and an Errno here, at the
+// package boundary, before it reaches the wire.
+func checkCrossPackageReturns(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call, ok := res.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn := calledFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() == pass.Pkg.Path() {
+				continue
+			}
+			if !callYieldsError(pass, call) {
+				continue
+			}
+			var fact AdHocError
+			if pass.ImportObjectFact(fn, &fact) {
+				pass.Reportf(call.Pos(),
+					"returns the error from %s.%s, which constructs unclassifiable errors (%s); wrap it with %%w and an Errno so errors.Is classification survives the package boundary",
+					fn.Pkg().Name(), fn.Name(), fact.At)
+			}
+		}
+		return true
+	})
+}
+
+// callYieldsError reports whether the call expression's type includes an
+// error value (single error result or a tuple containing one).
+func callYieldsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(tv.Type)
+}

@@ -1,0 +1,301 @@
+package analysis
+
+// Facts: the cross-package channel of the analyzer suite, mirroring
+// golang.org/x/tools/go/analysis Fact semantics on the stdlib-only
+// framework. An analyzer declares the fact types it exchanges in
+// Analyzer.FactTypes, attaches facts to package-level objects
+// (ExportObjectFact) or whole packages (ExportPackageFact) while analyzing
+// one package, and reads facts attached by earlier-analyzed packages
+// (ImportObjectFact / ImportPackageFact / AllPackageFacts).
+//
+// Both drivers thread the same *Facts store in dependency order:
+//
+//   - the standalone loader analyzes `go list -deps` output, which is
+//     already topologically sorted, so one in-memory store accumulates
+//     facts from every package in the run (imports and siblings alike);
+//   - the go vet unitchecker driver persists the store to the .vetx file
+//     named by the .cfg's VetxOutput field and seeds it from the dep .vetx
+//     files named by PackageVetx. A package's .vetx carries every fact
+//     known after its analysis — its own and its transitive dependencies' —
+//     so facts cross any number of import hops even though go vet only
+//     hands each package its direct imports' files.
+//
+// Serialization is gob. Object facts are keyed by a stable textual object
+// key ("FuncName" or "Type.Method") rather than export-data object
+// identity, so decoding never needs to resolve objects: importers recompute
+// the key from the types.Object they hold. Only package-level objects have
+// keys; that is not a practical limit, because a fact is only reachable
+// cross-package through an object the importing package can name.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is an analyzer-defined datum attached to a package or object and
+// exchanged across package boundaries. Implementations must be pointers to
+// gob-serializable structs, registered in registerFactTypes, and should
+// implement fmt.Stringer for analysistest `// want name:"..."` assertions.
+type Fact interface {
+	// AFact marks the type as a fact. It is never called.
+	AFact()
+}
+
+// PackageFact is one fact attached to a whole package.
+type PackageFact struct {
+	PkgPath string
+	Pos     token.Pos // package clause of the exporting pass; NoPos if decoded
+	Fact    Fact
+}
+
+// ObjectFact is one fact attached to a package-level object.
+type ObjectFact struct {
+	PkgPath string
+	Object  string    // stable key: "Func" or "Type.Method"
+	Pos     token.Pos // object declaration in the exporting pass; NoPos if decoded
+	Fact    Fact
+}
+
+type factKey struct {
+	pkg string
+	obj string // "" for package facts
+	typ string // concrete fact type name
+}
+
+// Facts is the fact store threaded through one driver run.
+type Facts struct {
+	m     map[factKey]Fact
+	pos   map[factKey]token.Pos
+	order []factKey // insertion order, for deterministic encoding
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts {
+	return &Facts{m: make(map[factKey]Fact), pos: make(map[factKey]token.Pos)}
+}
+
+func (fs *Facts) set(k factKey, pos token.Pos, fact Fact) {
+	if _, ok := fs.m[k]; !ok {
+		fs.order = append(fs.order, k)
+	}
+	fs.m[k] = fact
+	fs.pos[k] = pos
+}
+
+// get copies a stored fact into the pointer fact and reports whether one
+// was found. fact's concrete type selects which fact to look up.
+func (fs *Facts) get(k factKey, fact Fact) bool {
+	stored, ok := fs.m[k]
+	if !ok {
+		return false
+	}
+	rv, sv := reflect.ValueOf(fact), reflect.ValueOf(stored)
+	if rv.Type() != sv.Type() || rv.Kind() != reflect.Pointer {
+		return false
+	}
+	rv.Elem().Set(sv.Elem())
+	return true
+}
+
+// AllPackage returns every package fact, sorted by package path then fact
+// type so reports derived from them are deterministic under both drivers.
+func (fs *Facts) AllPackage() []PackageFact {
+	var out []PackageFact
+	for _, k := range fs.order {
+		if k.obj == "" {
+			out = append(out, PackageFact{PkgPath: k.pkg, Pos: fs.pos[k], Fact: fs.m[k]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PkgPath != out[j].PkgPath {
+			return out[i].PkgPath < out[j].PkgPath
+		}
+		return factTypeName(out[i].Fact) < factTypeName(out[j].Fact)
+	})
+	return out
+}
+
+// AllObject returns every object fact, sorted like AllPackage.
+func (fs *Facts) AllObject() []ObjectFact {
+	var out []ObjectFact
+	for _, k := range fs.order {
+		if k.obj != "" {
+			out = append(out, ObjectFact{PkgPath: k.pkg, Object: k.obj, Pos: fs.pos[k], Fact: fs.m[k]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.PkgPath != b.PkgPath {
+			return a.PkgPath < b.PkgPath
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return factTypeName(a.Fact) < factTypeName(b.Fact)
+	})
+	return out
+}
+
+func factTypeName(f Fact) string {
+	return reflect.TypeOf(f).String()
+}
+
+// objectKey computes the stable textual key for a package-level object:
+// "Name" for package-scope functions, vars, consts, and types, and
+// "Recv.Method" for methods on named types. It returns "" for objects that
+// cannot be named from another package (locals, fields, interface methods
+// of anonymous types), which therefore cannot carry exchangeable facts.
+func objectKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return ""
+			}
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return ""
+	}
+	return obj.Name()
+}
+
+// --- vetx serialization -------------------------------------------------
+
+// vetxMagic guards against feeding an unrelated file to the decoder. A
+// zero-length file is also accepted as an empty fact set: the driver writes
+// one for packages outside the module, and empty files are what pre-fact
+// versions of the tool produced.
+const vetxMagic = "iofwdlint.vetx v1\n"
+
+// wireFact is the serialized form of one fact.
+type wireFact struct {
+	PkgPath string
+	Object  string
+	Fact    Fact
+}
+
+// EncodeVetx serializes every fact in the store, in insertion order.
+func (fs *Facts) EncodeVetx() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(vetxMagic)
+	enc := gob.NewEncoder(&buf)
+	for _, k := range fs.order {
+		wf := wireFact{PkgPath: k.pkg, Object: k.obj, Fact: fs.m[k]}
+		if err := enc.Encode(wf); err != nil {
+			return nil, fmt.Errorf("encoding fact %T for %s: %v", fs.m[k], k.pkg, err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeVetx merges the facts serialized in data into the store. Positions
+// are not serialized (they are meaningless outside the encoding process),
+// so decoded facts carry token.NoPos.
+func (fs *Facts) DecodeVetx(data []byte) error {
+	if len(data) == 0 {
+		return nil // pre-fact empty vetx: no facts
+	}
+	if len(data) < len(vetxMagic) || string(data[:len(vetxMagic)]) != vetxMagic {
+		return fmt.Errorf("not an iofwdlint vetx file (bad magic)")
+	}
+	dec := gob.NewDecoder(bytes.NewReader(data[len(vetxMagic):]))
+	for {
+		var wf wireFact
+		err := dec.Decode(&wf)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return nil
+			}
+			return fmt.Errorf("decoding fact stream: %v", err)
+		}
+		if wf.Fact == nil {
+			return fmt.Errorf("decoding fact stream: nil fact")
+		}
+		fs.set(factKey{pkg: wf.PkgPath, obj: wf.Object, typ: factTypeName(wf.Fact)}, token.NoPos, wf.Fact)
+	}
+}
+
+// registerFactTypes registers the concrete fact types under stable names so
+// gob streams survive refactors that move or rename the Go types.
+func init() {
+	gob.RegisterName("iofwdlint.MetricFamilies", &MetricFamilies{})
+	gob.RegisterName("iofwdlint.AdHocError", &AdHocError{})
+}
+
+// --- Pass fact API ------------------------------------------------------
+
+// ExportPackageFact attaches fact to the package being analyzed. One fact
+// per concrete type per package: a second export overwrites the first.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts == nil {
+		return
+	}
+	pos := token.NoPos
+	if len(p.Files) > 0 {
+		pos = p.Files[0].Name.Pos()
+	}
+	p.facts.set(factKey{pkg: p.Pkg.Path(), typ: factTypeName(fact)}, pos, fact)
+}
+
+// ImportPackageFact copies the fact of fact's concrete type attached to pkg
+// into fact and reports whether one exists.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if p.facts == nil || pkg == nil {
+		return false
+	}
+	return p.facts.get(factKey{pkg: pkg.Path(), typ: factTypeName(fact)}, fact)
+}
+
+// ExportObjectFact attaches fact to obj, which must be a package-level
+// object (or method) of the package being analyzed; facts on objects other
+// packages cannot name are dropped, since no importer could ever look them
+// up.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != p.Pkg.Path() {
+		return
+	}
+	key := objectKey(obj)
+	if key == "" {
+		return
+	}
+	p.facts.set(factKey{pkg: p.Pkg.Path(), obj: key, typ: factTypeName(fact)}, obj.Pos(), fact)
+}
+
+// ImportObjectFact copies the fact of fact's concrete type attached to obj
+// into fact and reports whether one exists. obj may belong to any package.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	key := objectKey(obj)
+	if key == "" {
+		return false
+	}
+	return p.facts.get(factKey{pkg: obj.Pkg().Path(), obj: key, typ: factTypeName(fact)}, fact)
+}
+
+// AllPackageFacts returns every package fact visible to this pass: under
+// the standalone driver that is every package analyzed so far in the run
+// (dependency order makes that a superset of the import closure); under
+// the vet driver it is the import closure carried by the dep .vetx files.
+// Sorted for deterministic reporting.
+func (p *Pass) AllPackageFacts() []PackageFact {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.AllPackage()
+}

@@ -2,7 +2,14 @@
 // depending on golang.org/x/tools. It shells out to `go list -json -deps`
 // for build metadata (which the go command emits in dependency order) and
 // type-checks every package from source with go/types, ignoring function
-// bodies for pure dependencies so a whole-repo load stays fast.
+// bodies for pure external dependencies so a whole-repo load stays fast.
+//
+// Packages that live inside the loaded module ("local" packages) are fully
+// parsed and type-checked even when they are only dependencies of the load
+// patterns: the fact-passing analyzers (metricname, errnofact) need to
+// inspect their bodies to export facts that target packages then import.
+// The dependency order of `go list -deps` is exactly the topological order
+// facts must flow in, so the driver can make a single pass.
 package load
 
 import (
@@ -17,6 +24,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // Package is one loaded, type-checked package.
@@ -25,9 +33,10 @@ type Package struct {
 	Dir        string
 	GoFiles    []string // absolute paths
 	Target     bool     // matched the load patterns (vs. pulled in as a dep)
+	Local      bool     // lives inside the loaded module (fact producer)
 	Syntax     []*ast.File
 	Types      *types.Package
-	Info       *types.Info // populated for targets only
+	Info       *types.Info // populated for targets and local deps
 	TypeErrors []error     // non-fatal type-check problems
 }
 
@@ -61,6 +70,11 @@ func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
 		return nil, nil, fmt.Errorf("go list: %v", err)
 	}
 
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		absDir = dir
+	}
+
 	fset := token.NewFileSet()
 	byPath := make(map[string]*Package)
 	var pkgs []*Package
@@ -81,6 +95,7 @@ func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
 			ImportPath: lp.ImportPath,
 			Dir:        lp.Dir,
 			Target:     !lp.DepOnly,
+			Local:      lp.Dir == absDir || strings.HasPrefix(lp.Dir, absDir+string(filepath.Separator)),
 		}
 		for _, f := range append(append([]string{}, lp.GoFiles...), lp.CgoFiles...) {
 			if !filepath.IsAbs(f) {
@@ -114,9 +129,12 @@ func Targets(pkgs []*Package) []*Package {
 
 // check parses and type-checks one package whose dependencies are already
 // in byPath (guaranteed by go list's dependency-ordered -deps output).
+// Targets and local dependencies get full bodies and type info; external
+// (std) dependencies are checked API-only.
 func check(p *Package, importMap map[string]string, fset *token.FileSet, byPath map[string]*Package) error {
+	full := p.Target || p.Local
 	mode := parser.SkipObjectResolution
-	if p.Target {
+	if full {
 		mode |= parser.ParseComments
 	}
 	for _, f := range p.GoFiles {
@@ -131,13 +149,13 @@ func check(p *Package, importMap map[string]string, fset *token.FileSet, byPath 
 	}
 	conf := types.Config{
 		Importer:         &mapImporter{importMap: importMap, byPath: byPath},
-		IgnoreFuncBodies: !p.Target,
+		IgnoreFuncBodies: !full,
 		FakeImportC:      true,
 		Error: func(err error) {
 			p.TypeErrors = append(p.TypeErrors, err)
 		},
 	}
-	if p.Target {
+	if full {
 		p.Info = &types.Info{
 			Types:      make(map[ast.Expr]types.TypeAndValue),
 			Defs:       make(map[*ast.Ident]types.Object),

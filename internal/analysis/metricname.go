@@ -1,10 +1,13 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/telemetry"
 )
@@ -27,63 +30,141 @@ var registryMethodKinds = map[string]telemetry.Kind{
 	"Histogram": telemetry.KindHistogram,
 }
 
+// MetricFamilies is a package fact: every metric family the package
+// registers on a telemetry.Registry, name -> kind. Importing packages (and,
+// under the standalone driver, every later-analyzed package) compare their
+// own registrations against it, which is how the one-kind-per-name rule
+// crosses package boundaries under both drivers.
+type MetricFamilies struct {
+	Families map[string]MetricFamily
+}
+
+// MetricFamily is one registered family: its instrument kind and the
+// "file:line" of its first registration site, for cross-package reports.
+type MetricFamily struct {
+	Kind telemetry.Kind
+	At   string
+}
+
+// AFact marks MetricFamilies as a fact.
+func (*MetricFamilies) AFact() {}
+
+func (f *MetricFamilies) String() string {
+	names := make([]string, 0, len(f.Families))
+	for n := range f.Families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("families(")
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", n, f.Families[n].Kind)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
 // NewMetricname returns the metricname analyzer: every metric name literal
 // registered on a telemetry.Registry must follow the convention enforced by
 // telemetry.ValidateName (iofwd_ prefix, snake_case, _total on counters, a
 // unit suffix on histograms), and a name must keep one instrument kind
 // across the whole repository — the Prometheus exposition format cannot
 // represent a name that is a counter in one package and a gauge in another.
+// Registered families are exported as a MetricFamilies package fact, so the
+// cross-package check holds under go vet's per-package model, not just the
+// whole-repo standalone run.
 func NewMetricname() *Analyzer {
-	// seen accumulates across packages within one driver run so
-	// kind conflicts are caught repo-wide.
+	return &Analyzer{
+		Name:      "metricname",
+		Doc:       "metric names registered on telemetry.Registry must be iofwd_-prefixed snake_case with kind-appropriate suffixes, and keep one kind repo-wide (exchanged as MetricFamilies facts)",
+		FactTypes: []Fact{&MetricFamilies{}},
+		Run:       runMetricname,
+	}
+}
+
+func runMetricname(pass *Pass) error {
 	type regSite struct {
 		kind telemetry.Kind
 		pos  token.Pos
 	}
-	seen := make(map[string]regSite)
+	local := make(map[string]regSite)
 
-	return &Analyzer{
-		Name: "metricname",
-		Doc:  "metric names registered on telemetry.Registry must be iofwd_-prefixed snake_case with kind-appropriate suffixes, and keep one kind repo-wide",
-		Run: func(pass *Pass) error {
-			for _, file := range pass.Files {
-				ast.Inspect(file, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					method, ok := registryMethod(pass, call)
-					if !ok || len(call.Args) == 0 {
-						return true
-					}
-					name, ok := stringLiteral(call.Args[0])
-					if !ok {
-						return true
-					}
-					kind := kindUnknown
-					if k, ok := registryMethodKinds[method]; ok {
-						kind = k
-					} else if len(call.Args) >= 3 { // Register/MustRegister(name, help, metric, ...)
-						kind = metricArgKind(pass, call.Args[2])
-					}
-					if err := telemetry.ValidateName(name, kind); err != nil {
-						pass.Reportf(call.Args[0].Pos(), "%v", err)
-					}
-					if kind != kindUnknown {
-						if prev, ok := seen[name]; ok && prev.kind != kind {
-							pass.Reportf(call.Args[0].Pos(),
-								"metric %q registered as %s here but as %s elsewhere; one name must keep one instrument kind",
-								name, kind, prev.kind)
-						} else if !ok {
-							seen[name] = regSite{kind: kind, pos: call.Args[0].Pos()}
-						}
-					}
-					return true
-				})
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
 			}
-			return nil
-		},
+			method, ok := registryMethod(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			name, ok := stringLiteral(call.Args[0])
+			if !ok {
+				return true
+			}
+			kind := kindUnknown
+			if k, ok := registryMethodKinds[method]; ok {
+				kind = k
+			} else if len(call.Args) >= 3 { // Register/MustRegister(name, help, metric, ...)
+				kind = metricArgKind(pass, call.Args[2])
+			}
+			if err := telemetry.ValidateName(name, kind); err != nil {
+				pass.Reportf(call.Args[0].Pos(), "%v", err)
+			}
+			if kind != kindUnknown {
+				if prev, ok := local[name]; ok && prev.kind != kind {
+					pass.Reportf(call.Args[0].Pos(),
+						"metric %q registered as %s here but as %s at %s; one name must keep one instrument kind",
+						name, kind, prev.kind, shortPos(pass.Fset, prev.pos))
+				} else if !ok {
+					local[name] = regSite{kind: kind, pos: call.Args[0].Pos()}
+				}
+			}
+			return true
+		})
 	}
+
+	// Cross-package: compare local registrations against the families every
+	// visible package exported. AllPackageFacts is sorted, so the package
+	// blamed when a name conflicts with several is deterministic under both
+	// drivers.
+	for _, pf := range pass.AllPackageFacts() {
+		mf, ok := pf.Fact.(*MetricFamilies)
+		if !ok || pf.PkgPath == pass.Pkg.Path() {
+			continue
+		}
+		for name, site := range local {
+			if fam, ok := mf.Families[name]; ok && fam.Kind != site.kind {
+				pass.Reportf(site.pos,
+					"metric %q registered as %s here but as %s in %s (%s); one name must keep one instrument kind",
+					name, site.kind, fam.Kind, pf.PkgPath, fam.At)
+			}
+		}
+	}
+
+	if len(local) > 0 {
+		fact := &MetricFamilies{Families: make(map[string]MetricFamily, len(local))}
+		for name, site := range local {
+			fact.Families[name] = MetricFamily{Kind: site.kind, At: shortPos(pass.Fset, site.pos)}
+		}
+		pass.ExportPackageFact(fact)
+	}
+	return nil
+}
+
+// shortPos renders pos as "file.go:line" (basename only), compact enough to
+// embed in cross-package fact payloads and diagnostics.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
 }
 
 // registryMethod returns the method name if call is a method call on

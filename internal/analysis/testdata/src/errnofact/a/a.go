@@ -1,6 +1,8 @@
-// Package a is the errnowrap fixture: errors built inside functions must
+// Package a is the errnofact fixture: errors built inside functions must
 // be Errno-typed or wrap a typed root with %w; package-level typed root
-// declarations are the only legitimate errors.New calls.
+// declarations are the only legitimate errors.New calls. Functions that
+// both construct ad-hoc errors and return error carry an AdHocError
+// object fact (asserted with the errnofact:"..." want tokens).
 package a
 
 import (
@@ -27,19 +29,19 @@ func wrapped(err error) error {
 	return fmt.Errorf("%w: gave up", ErrRoot) // wraps a typed root: fine
 }
 
-func naked() error {
+func naked() error { // want errnofact:`adhoc\(a.go:\d+\)`
 	return errors.New("ad hoc failure") // want "errors.New on a core error path"
 }
 
-func cutChain(n int) error {
+func cutChain(n int) error { // want errnofact:`adhoc\(a.go:\d+\)`
 	return fmt.Errorf("oversized frame %d", n) // want "fmt.Errorf without %w on a core error path"
 }
 
-func swallowed(err error) error {
+func swallowed(err error) error { // want errnofact:`adhoc\(a.go:\d+\)`
 	return fmt.Errorf("backend said: %v", err) // want "fmt.Errorf without %w on a core error path"
 }
 
-func allowed(n int) error {
-	//lint:allow errnowrap config parse error, reported to the operator and never encoded onto the wire
+func allowed(n int) error { // want errnofact:`adhoc\(a.go:\d+\)`
+	//lint:allow errnofact config parse error, reported to the operator and never encoded onto the wire
 	return fmt.Errorf("bad spec element %d", n)
 }

@@ -1,0 +1,42 @@
+// Package caller returns errors built by the helper package. Returning a
+// fact-carrying callee's error directly is flagged at the return site: the
+// classification must be attached here, at the package boundary, before
+// the error reaches the wire.
+package caller
+
+import (
+	"fmt"
+
+	"repro/internal/analysis/testdata/src/errnofact/helper"
+)
+
+// Errno mimics the wire error code type.
+type Errno uint16
+
+func (e Errno) Error() string { return "errno" }
+
+// EIO mimics a wire code.
+const EIO Errno = 1
+
+// Relay hands helper's unclassifiable error straight to its own caller.
+func Relay() error {
+	return helper.Fetch() // want "returns the error from helper.Fetch, which constructs unclassifiable errors"
+}
+
+// RelayStat does the same through a multi-value-free single return.
+func RelayStat(path string) error {
+	return helper.Stat(path) // want "returns the error from helper.Stat, which constructs unclassifiable errors"
+}
+
+// RelayWrapped attaches the Errno before returning: fine.
+func RelayWrapped() error {
+	if err := helper.Fetch(); err != nil {
+		return fmt.Errorf("%w: relay: %v", EIO, err)
+	}
+	return nil
+}
+
+// RelayProbe returns a non-fact callee's error: fine.
+func RelayProbe(err error) error {
+	return helper.Probe(err)
+}

@@ -1,0 +1,32 @@
+// Package helper exports functions whose errors carry no Errno
+// classification. The AdHocError facts exported here are what lets the
+// caller fixture package flag `return helper.Fetch()` across the package
+// boundary — under the standalone driver through the shared in-memory
+// store, under go vet through this package's .vetx file.
+package helper
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Fetch reads a descriptor and fails with an unclassifiable error.
+func Fetch() error { // want errnofact:`adhoc\(helper.go:\d+\)`
+	return errors.New("helper: descriptor fetch failed") // want "errors.New on a core error path"
+}
+
+// Stat fails with an unwrapped fmt.Errorf.
+func Stat(path string) error { // want errnofact:`adhoc\(helper.go:\d+\)`
+	return fmt.Errorf("helper: stat %s failed", path) // want "fmt.Errorf without %w on a core error path"
+}
+
+// Probe wraps a typed root properly and carries no fact.
+func Probe(err error) error {
+	if err != nil {
+		return fmt.Errorf("%w: probe", ErrProbe)
+	}
+	return nil
+}
+
+// ErrProbe is a typed root.
+var ErrProbe = errors.New("helper: probe failed")

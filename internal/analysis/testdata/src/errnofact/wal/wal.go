@@ -1,4 +1,4 @@
-// Package wal is the errnowrap fixture for the spill tier: WAL I/O
+// Package wal is the errnofact fixture for the spill tier: WAL I/O
 // failures surface to clients through descdb deferred errors and fsync
 // replies, so every error built on those paths must wrap EIO (or a wal
 // typed root) with %w — otherwise toErrno and errors.Is degrade it to an
@@ -33,14 +33,14 @@ func scanTail(off int64) error {
 	return fmt.Errorf("%w at offset %d", ErrTorn, off) // wraps a typed root: fine
 }
 
-func badSegmentName(name string) error {
+func badSegmentName(name string) error { // want errnofact:`adhoc\(wal.go:\d+\)`
 	return errors.New("unparseable segment " + name) // want "errors.New on a core error path"
 }
 
-func crcMismatch(got, want uint32) error {
+func crcMismatch(got, want uint32) error { // want errnofact:`adhoc\(wal.go:\d+\)`
 	return fmt.Errorf("crc mismatch: got %#x want %#x", got, want) // want "fmt.Errorf without %w on a core error path"
 }
 
-func drainFailed(err error) error {
+func drainFailed(err error) error { // want errnofact:`adhoc\(wal.go:\d+\)`
 	return fmt.Errorf("replay to backend: %v", err) // want "fmt.Errorf without %w on a core error path"
 }

@@ -1,0 +1,11 @@
+// Package leafa is the left leaf of the fact-diamond fixture: it
+// registers one histogram family whose MetricFamilies fact must reach the
+// root package through the import DAG.
+package leafa // want metricname:`families\(iofwd_diamond_left_ns=histogram\)`
+
+import "repro/internal/telemetry"
+
+// Register installs leafa's instruments.
+func Register(reg *telemetry.Registry) {
+	reg.Histogram("iofwd_diamond_left_ns", "left leaf latency.")
+}

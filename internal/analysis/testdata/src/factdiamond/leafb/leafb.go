@@ -1,0 +1,11 @@
+// Package leafb is the right leaf of the fact-diamond fixture: it
+// registers one histogram family whose MetricFamilies fact must reach the
+// root package through the import DAG.
+package leafb // want metricname:`families\(iofwd_diamond_right_bytes=histogram\)`
+
+import "repro/internal/telemetry"
+
+// Register installs leafb's instruments.
+func Register(reg *telemetry.Registry) {
+	reg.Histogram("iofwd_diamond_right_bytes", "right leaf payload.")
+}

@@ -1,0 +1,21 @@
+// Package root closes the fact diamond: it imports both leaves, and
+// re-registers each leaf's family under a different instrument kind. Both
+// conflicts must be reported here — which requires the leaves' facts to
+// have been produced before root is analyzed (topological order) and
+// merged into one visible store (deps-first accumulation standalone,
+// .vetx union under go vet).
+package root // want metricname:`families\(iofwd_diamond_left_ns=gauge iofwd_diamond_right_bytes=gauge\)`
+
+import (
+	"repro/internal/analysis/testdata/src/factdiamond/leafa"
+	"repro/internal/analysis/testdata/src/factdiamond/leafb"
+	"repro/internal/telemetry"
+)
+
+// Register installs every instrument in the diamond.
+func Register(reg *telemetry.Registry) {
+	leafa.Register(reg)
+	leafb.Register(reg)
+	reg.Gauge("iofwd_diamond_left_ns", "conflict with leafa.")     // want "registered as gauge here but as histogram in .*factdiamond/leafa"
+	reg.Gauge("iofwd_diamond_right_bytes", "conflict with leafb.") // want "registered as gauge here but as histogram in .*factdiamond/leafb"
+}

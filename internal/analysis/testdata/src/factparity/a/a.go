@@ -1,0 +1,23 @@
+// Package a seeds the driver-parity fixture: one metric family and one
+// fact-carrying function. No want comments here — this fixture is checked
+// by diffing the standalone driver's findings against go vet's, which
+// must be identical (see cmd/iofwdlint's parity test and the CI lint job).
+package a
+
+import (
+	"errors"
+
+	"repro/internal/telemetry"
+)
+
+// Register installs a's instruments: iofwd_parity_ops_ns is a histogram
+// here, and package b re-registers it as a gauge.
+func Register(reg *telemetry.Registry) {
+	reg.Histogram("iofwd_parity_ops_ns", "per-op latency.")
+}
+
+// Fetch fails with an unclassifiable error, exporting an AdHocError fact
+// that package b's return site must trip over.
+func Fetch() error {
+	return errors.New("a: descriptor fetch failed")
+}

@@ -1,0 +1,23 @@
+// Package b trips both cross-package checks against package a: a metric
+// kind conflict (metricname, via a's MetricFamilies package fact) and an
+// unwrapped cross-package error return (errnofact, via Fetch's AdHocError
+// object fact). The standalone driver and go vet -vettool must report the
+// identical findings here; the parity test diffs them line by line.
+package b
+
+import (
+	"repro/internal/analysis/testdata/src/factparity/a"
+	"repro/internal/telemetry"
+)
+
+// Register re-registers a's histogram family as a gauge: cross-package
+// kind conflict.
+func Register(reg *telemetry.Registry) {
+	a.Register(reg)
+	reg.Gauge("iofwd_parity_ops_ns", "conflicts with a's histogram.")
+}
+
+// Relay returns a's unclassifiable error without attaching an Errno.
+func Relay() error {
+	return a.Fetch()
+}

@@ -1,7 +1,7 @@
 // Package a is the metricname fixture: names registered on a
 // telemetry.Registry must be iofwd_-prefixed snake_case with
 // kind-appropriate suffixes.
-package a
+package a // want metricname:`families\(.*iofwd_cross_ops=histogram.*\)`
 
 import "repro/internal/telemetry"
 

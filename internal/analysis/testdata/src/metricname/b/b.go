@@ -1,9 +1,9 @@
 // Package b proves metricname's cross-package kind-conflict detection:
 // package a registered iofwd_cross_ops as a histogram.
-package b
+package b // want metricname:`families\(iofwd_cross_ops=gauge\)`
 
 import "repro/internal/telemetry"
 
 func register(reg *telemetry.Registry) {
-	reg.Gauge("iofwd_cross_ops", "conflict.") // want "registered as gauge here but as histogram elsewhere"
+	reg.Gauge("iofwd_cross_ops", "conflict.") // want "registered as gauge here but as histogram in .*metricname/a"
 }

@@ -1,0 +1,71 @@
+// Package a is the tracefmt fixture: telemetry label keys and trace/log
+// format strings keep snake_case key=value discipline, stage names come
+// from the closed recv/queue/backend/reply/spill set, and Errno values
+// are never formatted by fmt.Errorf with a verb other than %w.
+package a
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/telemetry"
+)
+
+// Errno mimics the wire error code type.
+type Errno uint16
+
+func (e Errno) Error() string { return "errno" }
+
+// EIO mimics a wire code.
+const EIO Errno = 1
+
+func labels() {
+	_ = telemetry.L("stage", "backend")    // fine
+	_ = telemetry.L("torn_tails", "3")     // fine
+	_ = telemetry.L("stage", "midpath")    // want "not a forwarding-path stage"
+	_ = telemetry.L("tornTails", "3")      // want `label key "tornTails" is not lowercase snake_case`
+	_ = telemetry.L("Stage", "recv")       // want `label key "Stage" is not lowercase snake_case`
+	_ = telemetry.L("stage", someStage())  // non-literal value: not checked
+	_ = telemetry.L(someKey(), "whatever") // non-literal key: not checked
+}
+
+func someStage() string { return "recv" }
+func someKey() string   { return "stage" }
+
+func formats(n int, err error) {
+	log.Printf("drain done frames=%d stage=spill", n)      // fine
+	log.Printf("drain done stage=flush frames=%d", n)      // want `stage token "stage=flush" is not a forwarding-path stage`
+	log.Printf("drain done tornTails=%d", n)               // want `format key "tornTails" is not lowercase snake_case`
+	fmt.Printf("progress pct=%.1f ok", 1.0)                // fine: %.1f then "f ok" not keys; pct is snake
+	log.Printf("window grew to %d MiB=ignored", n)         // want `format key "MiB" is not lowercase snake_case`
+	_ = fmt.Sprintf("queue_depth=%d", n)                   // fine
+	fmt.Fprintf(nil, "reply sent bytes=%d stage=reply", n) // fine
+	_ = fmt.Sprintf("NBin=%d bins", n)                     // want `format key "NBin" is not lowercase snake_case`
+	log.Printf("addr=%s x_y=%v a1=%d", "a", err, n)        // fine: all snake_case
+}
+
+func errnoVerbs(err error) error {
+	if err != nil {
+		return fmt.Errorf("%w: backend failed: %v", EIO, err) // fine: Errno under %w
+	}
+	return fmt.Errorf("reply failed: %v", EIO) // want `Errno formatted with %v`
+}
+
+func errnoVerbS() error {
+	return fmt.Errorf("op rejected (%s)", EIO) // want `Errno formatted with %s`
+}
+
+func errnoVerbD(code Errno) error {
+	return fmt.Errorf("code %d on wire", code) // want `Errno formatted with %d`
+}
+
+func errnoOutsideErrorf(code Errno) {
+	// Only fmt.Errorf builds wrap chains; rendering an Errno in a log line
+	// with %v is fine.
+	log.Printf("saw code %v", code)
+}
+
+func suppressed(n int) {
+	//lint:allow tracefmt paper notation NBin is the figure axis label, not a trace key
+	_ = fmt.Sprintf("NBin=%d (paper: 1024)", n)
+}

@@ -640,7 +640,10 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	nc := c.nc
-	c.failLocked(fmt.Errorf("%w: %v", ErrClientClosed, ECLOSED))
+	// Both the typed root and the errno are wrapped (%w twice), so callers
+	// classify the shutdown either way: errors.Is(err, ErrClientClosed) and
+	// errors.Is(err, ECLOSED) both hold.
+	c.failLocked(fmt.Errorf("%w: %w", ErrClientClosed, ECLOSED))
 	c.mu.Unlock()
 	err := nc.Close()
 	// Join the coalescer senders. failLocked already failed their merged
