@@ -28,6 +28,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -134,6 +135,7 @@ func main() {
 	linger := flag.Duration("linger", 0, "coalescing linger: how long an open merge buffer waits for neighbors (0 takes the library default)")
 	noSync := flag.Bool("nosync", false, "skip the final fsync after the write loop, so the reported number is pure acknowledged-burst bandwidth (what a WAL spill tier absorbs) instead of drain-inclusive throughput")
 	metricsAddr := flag.String("metrics", "", "serve client-side fault counters on this address (/metrics, /statz); empty disables")
+	jsonOut := flag.String("json", "", "also write the final summary as JSON to this path (two-arm comparison scripts diff these instead of scraping stdout)")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
@@ -305,6 +307,28 @@ func main() {
 			fmt.Printf("congestion (client 0): cwnd=%.1f srtt=%v rttvar=%v decreases=%d retries=%d coalesced=%d\n",
 				s.Cwnd, s.SRTT.Round(10*time.Microsecond), s.RTTVar.Round(10*time.Microsecond),
 				s.CwndDecreases, s.Retries, s.CoalescedWrites)
+		}
+	}
+	if *jsonOut != "" {
+		doc := map[string]any{
+			"clients":    *clients,
+			"iters":      *iters,
+			"msg_bytes":  *msg,
+			"op":         op,
+			"mib_s":      float64(total) / elapsed.Seconds() / (1 << 20),
+			"elapsed_s":  elapsed.Seconds(),
+			"ok":         progress.ops.Value(),
+			"errors":     progress.errs.Value(),
+			"deferred":   progress.deferred.Value(),
+			"nosync":     *noSync,
+			"total_byte": total,
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatalf("fwdbench: marshal summary: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("fwdbench: write %s: %v", *jsonOut, err)
 		}
 	}
 	if *readback {

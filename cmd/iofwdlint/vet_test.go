@@ -146,3 +146,49 @@ func findingLines(root, out string) []string {
 	sort.Strings(lines)
 	return lines
 }
+
+// TestVetSurfacesSiblingConflict: the documented vet-model gap was that two
+// sibling packages (no import edge) registering one metric family under
+// different kinds were invisible under go vet — each sees only its import
+// closure's facts. The pairwise dependency check closes the gap from their
+// common importer; this test requires the conflict line under BOTH drivers.
+// The at-sibling report itself stays standalone-only (whole-repo store),
+// which is the residual asymmetry documented in DESIGN.md §9.
+func TestVetSurfacesSiblingConflict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and runs go vet; skipped in -short")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "iofwdlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/iofwdlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building iofwdlint: %v\n%s", err, out)
+	}
+
+	const pattern = "./internal/analysis/testdata/src/sibconflict/..."
+	const conflict = `metric "iofwd_sib_flux_bytes" registered as gauge in`
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, pattern)
+	vet.Dir = root
+	vetOut, _ := vet.CombinedOutput()
+	vetLines := findingLines(root, string(vetOut))
+	joinedVet := strings.Join(vetLines, "\n")
+	if !strings.Contains(joinedVet, "sibroot.go") || !strings.Contains(joinedVet, conflict) {
+		t.Errorf("go vet did not surface the sibling conflict at the common importer:\n%s", vetOut)
+	}
+
+	standalone := exec.Command(bin, pattern)
+	standalone.Dir = root
+	saOut, _ := standalone.CombinedOutput()
+	joinedSa := strings.Join(findingLines(root, string(saOut)), "\n")
+	if !strings.Contains(joinedSa, conflict) {
+		t.Errorf("standalone driver lost the common-importer report:\n%s", saOut)
+	}
+	if !strings.Contains(joinedSa, "registered as histogram here but as gauge in") {
+		t.Errorf("standalone driver lost the at-sibling report:\n%s", saOut)
+	}
+}

@@ -35,6 +35,14 @@ func TestFactDiamondFixture(t *testing.T) {
 	analysistest.Run(t, analysis.NewMetricname, "factdiamond")
 }
 
+// TestSibConflictFixture proves the pairwise dependency check: two sibling
+// packages registering one family under different kinds are flagged from
+// their common importer, the only vantage point whose fact view holds both
+// sides under go vet's import-closure model.
+func TestSibConflictFixture(t *testing.T) {
+	analysistest.Run(t, analysis.NewMetricname, "sibconflict")
+}
+
 func TestOpexhaustiveFixture(t *testing.T) {
 	analysistest.Run(t, analysis.NewOpexhaustive, "opexhaustive")
 }

@@ -146,6 +146,59 @@ func runMetricname(pass *Pass) error {
 		}
 	}
 
+	// Sibling dependencies: two packages with no import edge between them
+	// never see each other's facts under go vet's import-closure model, so
+	// a kind conflict between true siblings is invisible at either package.
+	// Any common importer holds both fact sets, so the conflict is surfaced
+	// here, pinned to this package's clause. Pairs with an import relation
+	// are skipped — the importing side already compared its registrations
+	// against its dependency's fact at its own registration site — and the
+	// comparison is restricted to this package's import closure so the
+	// standalone driver (whole-repo fact store) does not re-report every
+	// sibling conflict at every unrelated package analyzed later.
+	if len(pass.Files) > 0 {
+		deps := importClosure(pass.Pkg)
+		var depFacts []PackageFact
+		for _, pf := range pass.AllPackageFacts() {
+			if pf.PkgPath == pass.Pkg.Path() {
+				continue
+			}
+			if _, ok := deps[pf.PkgPath]; !ok {
+				continue
+			}
+			if _, ok := pf.Fact.(*MetricFamilies); ok {
+				depFacts = append(depFacts, pf)
+			}
+		}
+		pos := pass.Files[0].Name.Pos()
+		for i := 0; i < len(depFacts); i++ {
+			for j := i + 1; j < len(depFacts); j++ {
+				a, b := depFacts[i], depFacts[j]
+				if importsPath(deps[a.PkgPath], b.PkgPath, nil) ||
+					importsPath(deps[b.PkgPath], a.PkgPath, nil) {
+					continue
+				}
+				fa := a.Fact.(*MetricFamilies).Families
+				fb := b.Fact.(*MetricFamilies).Families
+				shared := make([]string, 0)
+				for name := range fa {
+					if _, ok := fb[name]; ok {
+						shared = append(shared, name)
+					}
+				}
+				sort.Strings(shared)
+				for _, name := range shared {
+					if fa[name].Kind != fb[name].Kind {
+						pass.Reportf(pos,
+							"metric %q registered as %s in %s (%s) but as %s in %s (%s); one name must keep one instrument kind (sibling packages cannot see each other's facts — the conflict is reported from their common importer)",
+							name, fa[name].Kind, a.PkgPath, fa[name].At,
+							fb[name].Kind, b.PkgPath, fb[name].At)
+					}
+				}
+			}
+		}
+	}
+
 	if len(local) > 0 {
 		fact := &MetricFamilies{Families: make(map[string]MetricFamily, len(local))}
 		for name, site := range local {
@@ -154,6 +207,47 @@ func runMetricname(pass *Pass) error {
 		pass.ExportPackageFact(fact)
 	}
 	return nil
+}
+
+// importClosure returns every package transitively imported by root, keyed
+// by path. Under the vet driver dependencies are loaded from export data,
+// whose Imports() graph can be pruned to referenced packages — membership
+// is therefore best-effort there, which only ever skips a pair, never
+// invents one.
+func importClosure(root *types.Package) map[string]*types.Package {
+	out := make(map[string]*types.Package)
+	var walk func(*types.Package)
+	walk = func(p *types.Package) {
+		for _, im := range p.Imports() {
+			if _, ok := out[im.Path()]; ok {
+				continue
+			}
+			out[im.Path()] = im
+			walk(im)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// importsPath reports whether p transitively imports path. seen may be nil.
+func importsPath(p *types.Package, path string, seen map[string]bool) bool {
+	if seen == nil {
+		seen = make(map[string]bool)
+	}
+	for _, im := range p.Imports() {
+		if im.Path() == path {
+			return true
+		}
+		if seen[im.Path()] {
+			continue
+		}
+		seen[im.Path()] = true
+		if importsPath(im, path, seen) {
+			return true
+		}
+	}
+	return false
 }
 
 // shortPos renders pos as "file.go:line" (basename only), compact enough to

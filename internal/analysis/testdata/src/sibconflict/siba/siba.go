@@ -1,0 +1,12 @@
+// Package siba is one of two sibling leaves of the sibconflict fixture.
+// Neither sibling imports the other, so under go vet's import-closure
+// fact model neither can flag that they register iofwd_sib_flux_bytes
+// under different instrument kinds.
+package siba // want metricname:`families\(iofwd_sib_flux_bytes=gauge\)`
+
+import "repro/internal/telemetry"
+
+// Register installs siba's instruments.
+func Register(reg *telemetry.Registry) {
+	reg.Gauge("iofwd_sib_flux_bytes", "in-flight bytes.")
+}

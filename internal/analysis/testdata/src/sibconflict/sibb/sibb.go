@@ -1,0 +1,12 @@
+// Package sibb registers siba's family under a different kind. The
+// standalone whole-repo store reports the conflict here (siba is analyzed
+// first); under go vet neither sibling sees the other, and the report
+// comes from sibroot, their first common importer.
+package sibb // want metricname:`families\(iofwd_sib_flux_bytes=histogram\)`
+
+import "repro/internal/telemetry"
+
+// Register installs sibb's instruments.
+func Register(reg *telemetry.Registry) {
+	reg.Histogram("iofwd_sib_flux_bytes", "flux payload size.") // want "registered as histogram here but as gauge in .*sibconflict/siba"
+}

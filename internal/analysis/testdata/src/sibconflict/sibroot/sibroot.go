@@ -1,0 +1,18 @@
+// Package sibroot imports both siblings without registering anything
+// itself: the pairwise dependency check must surface the siblings' kind
+// conflict here — the first package whose fact view holds both sides —
+// under the standalone driver and go vet alike.
+package sibroot // want `metric "iofwd_sib_flux_bytes" registered as gauge in .*sibconflict/siba \(siba.go:11\) but as histogram in .*sibconflict/sibb \(sibb.go:11\)`
+
+import (
+	"repro/internal/analysis/testdata/src/sibconflict/siba"
+	"repro/internal/analysis/testdata/src/sibconflict/sibb"
+
+	"repro/internal/telemetry"
+)
+
+// Register installs the whole tree.
+func Register(reg *telemetry.Registry) {
+	siba.Register(reg)
+	sibb.Register(reg)
+}

@@ -14,6 +14,15 @@ package core
 // spilled writes report failures on a later operation exactly like staged
 // ones.
 //
+// Append may block its caller for a bounded batching window: under group
+// commit the record joins a cohort and parks until a leader has made the
+// whole cohort durable with one shared fsync. A nil return still means
+// exactly what it meant before — this record is durable (to the log's
+// configured sync policy) and acknowledged — and the done/released
+// callback semantics are unchanged. Callers on a latency-sensitive path
+// must treat Append as a potentially-parking call, never as a pure
+// enqueue.
+//
 // released, when non-nil, is invoked at most once, strictly after done,
 // when the record's durable copy has left the log (its segment was
 // truncated after the backend was flushed). Until it fires, a crash

@@ -93,6 +93,31 @@ func (r *repairer) enqueue(name string, stripe int64, member int) {
 	r.kickNow()
 }
 
+// EnqueueRepair queues every replica of every stripe overlapping
+// [off, off+length) of name for repair. It is the drain-into-repair hook:
+// when a WAL-spilled record's drain or recovery replay fails against the
+// tier, the backend's copies of the affected stripes are in an unknown
+// mix of old and new bytes, so all chain members are marked stale. The
+// repair loop's stale-replica fallback (see readSurvivor) then converges
+// the whole chain onto one consistent copy instead of leaving replicas
+// that silently disagree. Degraded-but-successful writes do not need this
+// hook — the write path already enqueues exactly the replicas it missed.
+// Entries are versioned and journaled like any other enqueue. Returns the
+// number of (stripe, member) entries queued or bumped.
+func (t *Tier) EnqueueRepair(name string, off, length int64) int {
+	if name == "" || length <= 0 || off < 0 {
+		return 0
+	}
+	n := 0
+	for _, sp := range spans(off, int(length), t.cfg.StripeSize) {
+		for _, m := range replicaChain(sp.stripe, len(t.members), t.cfg.Replicas) {
+			t.repair.enqueue(name, sp.stripe, m)
+			n++
+		}
+	}
+	return n
+}
+
 // touch bumps the version of member's pending entry, if one exists. The
 // write path calls it immediately before writing stripe data to the
 // member: an in-flight repair that read its survivor snapshot before this

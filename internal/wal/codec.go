@@ -9,11 +9,14 @@
 // before the daemon accepts traffic — so a SIGKILL mid-burst loses nothing
 // that was acknowledged.
 //
-// The package is deterministic by design: it never reads the wall clock
-// (fsync pacing under SyncInterval is append-count-driven) and its only
-// goroutine, the drainer, is WaitGroup-joined by Close. Crash points for
-// recovery drills are injected through Config.Crash, a pure function of
-// the operation sequence (see internal/core/fault.CrashSet).
+// The package's durability logic is deterministic by design: fsync pacing
+// under SyncInterval is append-count-driven, crash points for recovery
+// drills are injected through Config.Crash as a pure function of the
+// operation sequence (see internal/core/fault.CrashSet), and the only
+// long-lived goroutine, the drainer, is WaitGroup-joined by Close. The
+// single exception is the group-commit linger window (Config.GroupLinger,
+// see group.go): a bounded real-time wait that only changes how appends
+// share an fsync, never what is on disk or what replay produces.
 package wal
 
 import (

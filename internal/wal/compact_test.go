@@ -1,0 +1,202 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestInsertSubtractSpans(t *testing.T) {
+	// Build a covered set out of order and with overlaps; it must stay
+	// sorted, merged, and subtraction must carve exact holes.
+	var set []span
+	for _, s := range []span{{50, 60}, {10, 20}, {18, 30}, {60, 70}, {0, 5}} {
+		set = append([]span(nil), insertSpan(set, s)...)
+	}
+	want := []span{{0, 5}, {10, 30}, {50, 70}}
+	if len(set) != len(want) {
+		t.Fatalf("merged set %v, want %v", set, want)
+	}
+	for i := range want {
+		if set[i] != want[i] {
+			t.Fatalf("merged set %v, want %v", set, want)
+		}
+	}
+	cases := []struct {
+		s    span
+		want []span
+	}{
+		{span{0, 100}, []span{{5, 10}, {30, 50}, {70, 100}}},
+		{span{10, 30}, nil},
+		{span{12, 28}, nil},
+		{span{25, 55}, []span{{30, 50}}},
+		{span{100, 110}, []span{{100, 110}}},
+		{span{5, 10}, []span{{5, 10}}},
+	}
+	for _, c := range cases {
+		got := subtractSpans(c.s, set)
+		if len(got) != len(c.want) {
+			t.Fatalf("subtract %v from %v = %v, want %v", c.s, set, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("subtract %v from %v = %v, want %v", c.s, set, got, c.want)
+			}
+		}
+	}
+}
+
+func TestCompactBatchNewestWins(t *testing.T) {
+	// Three records on one name: [0,100), [40,60), [50,120). The newest
+	// covers [50,120); the middle keeps [40,50); the oldest keeps [0,40).
+	batch := []record{
+		{name: "a", off: 0, n: 100},
+		{name: "a", off: 40, n: 20},
+		{name: "a", off: 50, n: 70},
+		{name: "b", off: 0, n: 10}, // other names are untouched
+	}
+	plans, skipped := compactBatch(batch)
+	wantPlans := [][]span{
+		{{0, 40}},
+		{{40, 50}},
+		{{50, 120}},
+		{{0, 10}},
+	}
+	for i, want := range wantPlans {
+		got := plans[i]
+		if len(got) != len(want) {
+			t.Fatalf("record %d plan %v, want %v", i, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("record %d plan %v, want %v", i, got, want)
+			}
+		}
+	}
+	// Oldest lost [40,100) = 60 bytes; middle lost [50,60) = 10 bytes.
+	if skipped != 70 {
+		t.Fatalf("skipped %d bytes, want 70", skipped)
+	}
+}
+
+// goldenReplay applies a schedule sequentially — the uncompacted drain — and
+// returns the per-name final bytes.
+type schedOp struct {
+	name string
+	off  int64
+	data []byte
+}
+
+func goldenReplay(sched []schedOp) map[string][]byte {
+	out := make(map[string][]byte)
+	for _, op := range sched {
+		end := op.off + int64(len(op.data))
+		b := out[op.name]
+		if int64(len(b)) < end {
+			nb := make([]byte, end)
+			copy(nb, b)
+			b = nb
+		}
+		copy(b[op.off:end], op.data)
+		out[op.name] = b
+	}
+	return out
+}
+
+func randomSchedule(rng *rand.Rand, n int) []schedOp {
+	names := []string{"a", "b", "c"}
+	sched := make([]schedOp, n)
+	for i := range sched {
+		ln := 1 + rng.Intn(300)
+		data := make([]byte, ln)
+		rng.Read(data)
+		sched[i] = schedOp{
+			name: names[rng.Intn(len(names))],
+			off:  int64(rng.Intn(2000)),
+			data: data,
+		}
+	}
+	return sched
+}
+
+func runSchedule(t *testing.T, sched []schedOp, gated bool) (*core.MemBackend, Stats) {
+	t.Helper()
+	dir := t.TempDir()
+	var be core.Backend
+	var gate *gateBackend
+	mem := core.NewMemBackend()
+	be = mem
+	if gated {
+		gate = newGateBackend()
+		mem = gate.MemBackend
+		be = gate
+	}
+	lg, _, err := Open(Config{Dir: dir, Backend: be, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := newCollect(len(sched))
+	for _, op := range sched {
+		if err := lg.Append(op.name, op.off, op.data, col.done, nil); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if gated {
+		// Everything is queued behind the first blocked backend write: the
+		// drainer must compact the whole schedule as (nearly) one batch.
+		gate.release()
+	}
+	for _, err := range col.wait(t, len(sched)) {
+		if err != nil {
+			t.Fatalf("drain error: %v", err)
+		}
+	}
+	st := lg.SnapshotStats()
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return mem, st
+}
+
+// TestCompactionProperty: random overlapping write schedules drained with
+// compaction — both free-running (arbitrary batch splits) and forced into
+// one big batch — must leave the backend byte-identical to an uncompacted
+// sequential replay.
+func TestCompactionProperty(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sched := randomSchedule(rand.New(rand.NewSource(seed)), 150)
+			want := goldenReplay(sched)
+			var compactedTotal uint64
+			for _, gated := range []bool{false, true} {
+				be, st := runSchedule(t, sched, gated)
+				for name, wantBytes := range want {
+					got, ok := be.Bytes(name)
+					if !ok {
+						t.Fatalf("gated=%v: %q missing from backend", gated, name)
+					}
+					// MemBackend may not track trailing zero extent exactly
+					// like the golden map; compare the written prefix.
+					if len(got) != len(wantBytes) {
+						t.Fatalf("gated=%v: %q holds %d bytes, want %d", gated, name, len(got), len(wantBytes))
+					}
+					if !bytes.Equal(got, wantBytes) {
+						t.Fatalf("gated=%v: %q diverged from sequential replay", gated, name)
+					}
+				}
+				compactedTotal += st.CompactedBytes
+			}
+			// The gated arm drains one giant overlapping batch: compaction
+			// must actually have skipped something, or this test proves
+			// nothing.
+			if compactedTotal == 0 {
+				t.Fatal("no bytes were compacted across both arms; schedule not overlapping enough?")
+			}
+		})
+	}
+}

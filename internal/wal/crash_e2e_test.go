@@ -157,7 +157,11 @@ func sigkilled(d *daemon) bool {
 }
 
 // crashArgs builds the shared fwdd argument list for one incarnation.
-func crashArgs(root, walDir string, segBytes int64, plugLat time.Duration, crash string) []string {
+// group selects the WAL append path: the legacy per-record crash points
+// (mid-append, after-append) only fire with group commit off, the batch
+// points (mid-batch-append, before-batch-sync, after-batch-sync-before-ack)
+// only with it on.
+func crashArgs(root, walDir string, segBytes int64, plugLat time.Duration, crash string, group bool) []string {
 	args := []string{
 		"-listen", "127.0.0.1:0",
 		"-mode", "async",
@@ -169,6 +173,7 @@ func crashArgs(root, walDir string, segBytes int64, plugLat time.Duration, crash
 		"-wal-dir", walDir,
 		"-wal-sync", SyncAlways,
 		"-wal-segment", fmt.Sprint(segBytes),
+		fmt.Sprintf("-wal-group=%v", group),
 	}
 	if plugLat > 0 {
 		args = append(args, "-fault", fmt.Sprintf("lat=1:%s,seed=1", plugLat))
@@ -208,6 +213,54 @@ func runBurst(t *testing.T, addr string, nData int) []bool {
 		}
 		acked[i] = true
 	}
+	return acked
+}
+
+// runBurstConcurrent plugs the BML, then lets `workers` goroutines — one
+// connection each — write disjoint regions of "data" until the daemon
+// dies. Concurrent spilled appends are what group commit batches into
+// cohorts; each worker's WriteAt return is its ack, recorded per record.
+func runBurstConcurrent(t *testing.T, addr string, workers, perWorker int) []bool {
+	t.Helper()
+	c, err := core.Dial("tcp", addr, core.WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	plug, err := c.Open(context.Background(), "plug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < e2ePlugs; i++ {
+		if _, err := plug.WriteAt(pattern(i, e2ePayload), int64(i*e2ePayload)); err != nil {
+			t.Fatalf("plug write %d: %v", i, err)
+		}
+	}
+	acked := make([]bool, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc, err := core.Dial("tcp", addr, core.WithTimeout(5*time.Second))
+			if err != nil {
+				return // the daemon died before this worker connected
+			}
+			defer wc.Close()
+			f, err := wc.Open(context.Background(), "data")
+			if err != nil {
+				return
+			}
+			for i := 0; i < perWorker; i++ {
+				idx := w*perWorker + i
+				if _, err := f.WriteAt(pattern(100+idx, e2ePayload), int64(idx*e2ePayload)); err != nil {
+					return // death under us; this worker's later records are unacked
+				}
+				acked[idx] = true
+			}
+		}(w)
+	}
+	wg.Wait()
 	return acked
 }
 
@@ -257,6 +310,10 @@ func TestCrashRecoveryE2E(t *testing.T) {
 		segBytes int64
 		plugLat  time.Duration
 		nData    int
+		// group runs fwdd with -wal-group=true; concurrent drives the burst
+		// with 8 worker connections so spilled appends actually share cohorts.
+		group      bool
+		concurrent bool
 		// wantUnacked requires the crash to interrupt the burst itself
 		// (append-side points); drain-side points fire after the burst.
 		wantUnacked bool
@@ -278,6 +335,25 @@ func TestCrashRecoveryE2E(t *testing.T) {
 		// already be fsynced on the backend (the drainer's durability rule).
 		{name: "after-truncate", crash: "after-truncate:1", segBytes: 4 << 10,
 			plugLat: 1200 * time.Millisecond, nData: 12},
+		// Group-commit arm: 8 concurrent writers, batched cohorts. Killed
+		// one byte short of finishing the 3rd batch write: the cohort is
+		// torn on disk and none of its members were acknowledged, so
+		// recovery discards the tear and every acked record still reads back.
+		{name: "mid-batch-append", crash: "mid-batch-append:3", segBytes: 8 << 20,
+			plugLat: 3 * time.Second, nData: 24, group: true, concurrent: true,
+			wantUnacked: true, wantTorn: true},
+		// Killed after the 3rd batch reached the file but before its fsync:
+		// earlier (acked) cohorts must survive; batch 3 was never acked and
+		// may or may not replay.
+		{name: "before-batch-sync", crash: "before-batch-sync:3", segBytes: 8 << 20,
+			plugLat: 3 * time.Second, nData: 24, group: true, concurrent: true,
+			wantUnacked: true},
+		// Killed after the 3rd batch's fsync but before any member unparked:
+		// the whole cohort is durable yet unacknowledged — all-or-nothing at
+		// the ack level means recovery may replay all of it, never half.
+		{name: "after-batch-sync-before-ack", crash: "after-batch-sync-before-ack:3", segBytes: 8 << 20,
+			plugLat: 3 * time.Second, nData: 24, group: true, concurrent: true,
+			wantUnacked: true},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -286,8 +362,13 @@ func TestCrashRecoveryE2E(t *testing.T) {
 
 			// Incarnation 1: crash point armed, backend latency holding the
 			// plug in place.
-			d1 := startFwdd(t, crashArgs(root, walDir, tc.segBytes, tc.plugLat, tc.crash)...)
-			acked := runBurst(t, d1.addr, tc.nData)
+			d1 := startFwdd(t, crashArgs(root, walDir, tc.segBytes, tc.plugLat, tc.crash, tc.group)...)
+			var acked []bool
+			if tc.concurrent {
+				acked = runBurstConcurrent(t, d1.addr, 8, tc.nData/8)
+			} else {
+				acked = runBurst(t, d1.addr, tc.nData)
+			}
 			if err := d1.waitExit(t, 30*time.Second); err == nil {
 				t.Fatalf("fwdd exited cleanly; want death at crash point %s", tc.crash)
 			}
@@ -311,7 +392,7 @@ func TestCrashRecoveryE2E(t *testing.T) {
 
 			// Incarnation 2: same backend root and WAL dir, no crash points,
 			// no chaos — recovery replays survivors before listening.
-			d2 := startFwdd(t, crashArgs(root, walDir, tc.segBytes, 0, "")...)
+			d2 := startFwdd(t, crashArgs(root, walDir, tc.segBytes, 0, "", tc.group)...)
 			verified := verifyRecovered(t, d2.addr, acked)
 			t.Logf("%s: %d/%d acked records byte-exact after kill+restart", tc.name, verified, tc.nData)
 			if tc.wantTorn && !regexp.MustCompile(`\b[1-9]\d* torn tails discarded`).MatchString(d2.stderr()) {

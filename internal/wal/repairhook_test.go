@@ -1,0 +1,108 @@
+package wal
+
+// Drain-into-repair hook tests: when a spilled record's backend apply
+// fails — live drain or recovery replay — Config.DrainFailed must receive
+// the record's (name, off, n) so a replicated backend can mark the
+// affected stripes stale and repair them, instead of replicas silently
+// disagreeing about bytes the client was promised.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// hookCalls records DrainFailed invocations from the drainer goroutine.
+type hookCalls struct {
+	mu    sync.Mutex
+	calls []struct {
+		name string
+		off  int64
+		n    int
+	}
+}
+
+func (h *hookCalls) hook(name string, off int64, n int) {
+	h.mu.Lock()
+	h.calls = append(h.calls, struct {
+		name string
+		off  int64
+		n    int
+	}{name, off, n})
+	h.mu.Unlock()
+}
+
+func (h *hookCalls) snapshot() []struct {
+	name string
+	off  int64
+	n    int
+} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append(h.calls[:0:0], h.calls...)
+}
+
+func TestDrainFailedHookOnDrainError(t *testing.T) {
+	var hooked hookCalls
+	lg, _, err := Open(Config{
+		Dir:         t.TempDir(),
+		Backend:     &failingBackend{Backend: core.NewMemBackend(), failWrites: true},
+		Sync:        SyncNever,
+		DrainFailed: hooked.hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCollect(1)
+	if err := lg.Append("obj", 96, pattern(0, 32), c.done, nil); err != nil {
+		t.Fatal(err)
+	}
+	if errs := c.wait(t, 1); !errors.Is(errs[0], core.EIO) {
+		t.Fatalf("drain error %v does not wrap EIO", errs[0])
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	calls := hooked.snapshot()
+	if len(calls) != 1 {
+		t.Fatalf("DrainFailed fired %d times, want 1: %+v", len(calls), calls)
+	}
+	if c := calls[0]; c.name != "obj" || c.off != 96 || c.n != 32 {
+		t.Fatalf("DrainFailed(%q, %d, %d), want (\"obj\", 96, 32)", c.name, c.off, c.n)
+	}
+	if got := lg.drainRepair.Value(); got != 1 {
+		t.Fatalf("drainRepair counter = %d, want 1", got)
+	}
+}
+
+func TestDrainFailedHookOnRecoveryReplay(t *testing.T) {
+	dir := t.TempDir()
+	frame := encodeFrame(encodeRecordHeader("obj", 64), pattern(0, 16))
+	if err := os.WriteFile(filepath.Join(dir, segName(0)), frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var hooked hookCalls
+	lg, stats, err := Open(Config{
+		Dir:         dir,
+		Backend:     &failingBackend{Backend: core.NewMemBackend(), failWrites: true},
+		DrainFailed: hooked.hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = lg.Close()
+	if stats.Errors != 1 || stats.Replayed != 0 {
+		t.Fatalf("recover stats: %+v", stats)
+	}
+	calls := hooked.snapshot()
+	if len(calls) != 1 {
+		t.Fatalf("DrainFailed fired %d times during replay, want 1: %+v", len(calls), calls)
+	}
+	if c := calls[0]; c.name != "obj" || c.off != 64 || c.n != 16 {
+		t.Fatalf("DrainFailed(%q, %d, %d), want (\"obj\", 64, 16)", c.name, c.off, c.n)
+	}
+}

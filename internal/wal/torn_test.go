@@ -162,3 +162,35 @@ func TestTornMidSegment(t *testing.T) {
 		t.Fatalf("segment after the torn one not replayed")
 	}
 }
+
+// TestTornBatchTruncation is the group-commit shape of the torn-tail
+// matrix: a cohort's frames hit the disk as ONE buffered write, so a crash
+// mid-batch (CrashMidBatchAppend) can tear the file at any byte of any
+// frame in the cohort — not just the last record. Cutting a four-frame
+// batch at every byte offset of the whole file must recover exactly the
+// complete-frame prefix: all-or-nothing per record, prefix-closed per
+// cohort.
+func TestTornBatchTruncation(t *testing.T) {
+	const nRecs, payloadLen = 4, 32
+	seg, lastStart := tornFixture(nRecs, payloadLen)
+	frameLen := (len(seg) - lastStart) // fixed name+payload: all frames equal
+	if frameLen*nRecs != len(seg) {
+		t.Fatalf("fixture frames are not equal-sized: %d * %d != %d", frameLen, nRecs, len(seg))
+	}
+	for cut := 0; cut <= len(seg); cut++ {
+		cut := cut
+		t.Run(fmt.Sprintf("cut%03d", cut), func(t *testing.T) {
+			be, stats := recoverFixture(t, seg[:cut])
+			intact := cut / frameLen
+			checkPrefix(t, be, intact, payloadLen)
+			wantTorn := 1
+			if cut%frameLen == 0 {
+				wantTorn = 0 // clean frame boundary: nothing mid-record
+			}
+			if stats.Replayed != intact || stats.Torn != wantTorn {
+				t.Fatalf("cut %d: stats %+v, want replayed=%d torn=%d",
+					cut, stats, intact, wantTorn)
+			}
+		})
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/telemetry"
@@ -45,6 +47,18 @@ const (
 	CrashBeforeTruncate = "before-truncate"
 	// CrashAfterTruncate fires just after a drained segment is removed.
 	CrashAfterTruncate = "after-truncate"
+	// CrashMidBatchAppend fires between the two halves of a deliberately
+	// split group-commit batch write: the on-disk tail tears mid-cohort,
+	// possibly mid-frame. No cohort member was acked.
+	CrashMidBatchAppend = "mid-batch-append"
+	// CrashBeforeBatchSync fires after a cohort's frames are fully written
+	// but before the batch fsync. No cohort member was acked.
+	CrashBeforeBatchSync = "before-batch-sync"
+	// CrashAfterBatchSync fires after the batch fsync but before any cohort
+	// member is acknowledged: the whole cohort is durable yet no client
+	// heard an ack — recovery replays it all, proving the cohort is
+	// all-or-nothing at the ack level.
+	CrashAfterBatchSync = "after-batch-sync-before-ack"
 )
 
 // Config configures a Log.
@@ -71,6 +85,26 @@ type Config struct {
 	// constants). Production leaves it nil; the kill/restart harness
 	// installs fault.CrashSet.Fire to SIGKILL the process mid-sequence.
 	Crash func(point string)
+	// GroupCommit batches concurrent SyncAlways appends into cohorts that
+	// share one buffered frame write and one fsync (leader/follower group
+	// commit, see group.go). Ignored under the other sync policies, which
+	// already amortise fsyncs by counting appends.
+	GroupCommit bool
+	// GroupLinger bounds how long a cohort leader waits for followers
+	// before committing (default 200µs). The wait ends early once the
+	// cohort holds every append currently in flight, so a lone writer's
+	// cohort wakes itself the moment it forms and pays nothing for the
+	// window.
+	GroupLinger time.Duration
+	// GroupMaxBytes seals a cohort once its buffered frames reach this
+	// size (default 1 MiB); the next append starts a new cohort.
+	GroupMaxBytes int64
+	// DrainFailed, when non-nil, is invoked — off the append path, after
+	// the record's done callback fired with the error — for every record
+	// whose drain-time or recovery-time backend apply failed. fwdd wires
+	// it to the stripe tier's repair enqueue so a spilled write that
+	// missed a replica heals without a second discovery pass.
+	DrainFailed func(name string, off int64, n int)
 }
 
 // RecoverStats reports what Open found and replayed from a previous
@@ -107,9 +141,14 @@ type segment struct {
 	id      uint64
 	path    string
 	f       *os.File
-	size    int64 // bytes of intact appended frames
+	size    int64 // bytes of intact appended frames (plus reserved regions)
 	pending int   // appended records not yet drained
-	rotated bool  // no longer the active segment
+	// reserved counts records whose cohort has claimed a region of the
+	// file but has not committed yet (group commit). A segment with
+	// reservations must not be truncated, removed, or released: the bytes
+	// under them are about to become acknowledged records.
+	reserved int
+	rotated  bool // no longer the active segment
 	// unflushed marks an active segment whose records were all applied but
 	// whose pre-truncate backend flush failed: the applied bytes may not be
 	// durable, so the file must survive until a flush succeeds (or recovery
@@ -139,6 +178,23 @@ type Log struct {
 	unsynced    int // appends since the last fsync (SyncInterval pacing)
 	closed      bool
 
+	// Group-commit state (see group.go). cohortQ holds created but not yet
+	// published cohorts in seq order; commitHead is the seq whose commit
+	// turn it is; curCohort is the open (joinable) cohort, always the tail
+	// of cohortQ; sweeps are segments orphaned by a cohort failure that the
+	// drainer must finish (no drain completion will visit them).
+	curCohort     *cohort
+	cohortQ       []*cohort
+	nextCohortSeq uint64
+	commitHead    uint64
+	commitCond    *sync.Cond // signalled when commitHead advances
+	sweeps        []*segment
+	draining      int // records taken off the queue, not yet applied
+	// inflight counts goroutines currently inside appendGrouped — the
+	// population a lingering leader can still hope to capture. The linger
+	// heuristic reads it without l.mu.
+	inflight atomic.Int64
+
 	wg sync.WaitGroup
 
 	// drainer-only handle cache: most bursts hammer one descriptor, so one
@@ -162,13 +218,26 @@ type Log struct {
 	drainErrors  telemetry.Counter
 	truncated    telemetry.Counter
 	syncs        telemetry.Counter
+	// fsyncs by reason: per-append (SyncAlways without group commit),
+	// SyncEvery pacing, rotation seal, and group-commit batch. Their sum
+	// tracks syncs; the split is what shows fsync amortisation working.
+	fsyncAppend   telemetry.Counter
+	fsyncInterval telemetry.Counter
+	fsyncRotate   telemetry.Counter
+	fsyncBatch    telemetry.Counter
+	batchOps      telemetry.Histogram // records per group-commit batch
+	batchBytes    telemetry.Histogram // frame bytes per group-commit batch
+	compacted     telemetry.Counter   // bytes skipped by pre-drain compaction
+	drainRepair   telemetry.Counter   // drain failures handed to DrainFailed
 }
 
 const (
-	defaultSegmentBytes = 8 << 20
-	defaultSyncEvery    = 32
-	segPrefix           = "wal-"
-	segSuffix           = ".seg"
+	defaultSegmentBytes  = 8 << 20
+	defaultSyncEvery     = 32
+	defaultGroupLinger   = 200 * time.Microsecond
+	defaultGroupMaxBytes = 1 << 20
+	segPrefix            = "wal-"
+	segSuffix            = ".seg"
 )
 
 // segName formats a segment file name; lexicographic order is ID order.
@@ -200,11 +269,29 @@ func Open(cfg Config) (*Log, RecoverStats, error) {
 	if cfg.SyncEvery <= 0 {
 		cfg.SyncEvery = defaultSyncEvery
 	}
+	if cfg.Sync != SyncAlways {
+		// Group commit exists to amortise SyncAlways's per-append fsync;
+		// the other policies already batch by counting appends.
+		cfg.GroupCommit = false
+	}
+	if cfg.GroupLinger < 0 {
+		return nil, RecoverStats{}, fmt.Errorf("%w: wal: negative group linger", core.EINVAL)
+	}
+	if cfg.GroupLinger == 0 {
+		cfg.GroupLinger = defaultGroupLinger
+	}
+	if cfg.GroupMaxBytes < 0 {
+		return nil, RecoverStats{}, fmt.Errorf("%w: wal: negative group batch cap", core.EINVAL)
+	}
+	if cfg.GroupMaxBytes == 0 {
+		cfg.GroupMaxBytes = defaultGroupMaxBytes
+	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, RecoverStats{}, fmt.Errorf("%w: creating wal dir: %v", core.EIO, err)
 	}
 	l := &Log{cfg: cfg}
 	l.cond = sync.NewCond(&l.mu)
+	l.commitCond = sync.NewCond(&l.mu)
 	stats, err := l.recover()
 	if err != nil {
 		return nil, stats, err
@@ -317,6 +404,10 @@ func (l *Log) replaySegment(path string, handles map[string]core.Handle, touched
 				stats.Errors++
 				l.replayErrors.Inc()
 				clean = false
+				if l.cfg.DrainFailed != nil {
+					l.drainRepair.Inc()
+					l.cfg.DrainFailed(name, off, len(data))
+				}
 				continue
 			}
 			handles[name] = h
@@ -330,6 +421,10 @@ func (l *Log) replaySegment(path string, handles map[string]core.Handle, touched
 			stats.Errors++
 			l.replayErrors.Inc()
 			clean = false
+			if l.cfg.DrainFailed != nil {
+				l.drainRepair.Inc()
+				l.cfg.DrainFailed(name, off, len(data))
+			}
 			continue
 		}
 		stats.Replayed++
@@ -375,6 +470,9 @@ func (l *Log) Append(name string, off int64, data []byte, done func(error), rele
 		return fmt.Errorf("%w: record payload %d exceeds frame limit %d", core.EINVAL, payload, MaxFramePayload)
 	}
 	frame := encodeFrame(encodeRecordHeader(name, off), data)
+	if l.cfg.GroupCommit {
+		return l.appendGrouped(name, off, data, frame, done, released)
+	}
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -443,22 +541,23 @@ func (l *Log) writeFrameLocked(seg *segment, frame []byte) error {
 func (l *Log) syncPolicyLocked(seg *segment) error {
 	switch l.cfg.Sync {
 	case SyncAlways:
-		return l.fsyncLocked(seg)
+		return l.fsyncLocked(seg, &l.fsyncAppend)
 	case SyncInterval:
 		l.unsynced++
 		if l.unsynced >= l.cfg.SyncEvery {
-			return l.fsyncLocked(seg)
+			return l.fsyncLocked(seg, &l.fsyncInterval)
 		}
 	}
 	return nil
 }
 
-func (l *Log) fsyncLocked(seg *segment) error {
+func (l *Log) fsyncLocked(seg *segment, reason *telemetry.Counter) error {
 	if err := seg.f.Sync(); err != nil {
 		return fmt.Errorf("%w: syncing segment: %v", core.EIO, err)
 	}
 	l.unsynced = 0
 	l.syncs.Inc()
+	reason.Inc()
 	return nil
 }
 
@@ -468,17 +567,17 @@ func (l *Log) fsyncLocked(seg *segment) error {
 func (l *Log) rotateLocked() error {
 	seg := l.active
 	if l.cfg.Sync == SyncInterval && l.unsynced > 0 {
-		if err := l.fsyncLocked(seg); err != nil {
+		if err := l.fsyncLocked(seg, &l.fsyncRotate); err != nil {
 			return err
 		}
 	}
 	seg.rotated = true
 	switch {
-	case seg.pending == 0 && !seg.unflushed:
+	case seg.pending == 0 && seg.reserved == 0 && !seg.unflushed:
 		// Already fully drained and flushed through to the backend: no
 		// truncate barrier needed, just drop it.
 		l.removeSegLocked(seg)
-	case seg.pending == 0:
+	case seg.pending == 0 && seg.reserved == 0:
 		// Drained, but the backend flush failed when the drainer tried to
 		// rewind it: the applied records may not be durable yet, so the
 		// file stays on disk for recovery (idempotent re-apply) and its
@@ -519,82 +618,126 @@ func (l *Log) releaseSegLocked(seg *segment) {
 	}
 }
 
-// drain is the background replay loop: pop the oldest record, read its
-// payload back from the segment, apply it to the backend, report through
-// done, release the segment space. Global FIFO order preserves per-name
-// append order (the property the deferred-write semantics need).
+// drain is the background replay loop: take the whole queue as one batch,
+// plan it through the compaction interval map, then apply each record's
+// surviving byte ranges to the backend in FIFO order, report through done,
+// and release segment space. Global FIFO order preserves per-name append
+// order (the property the deferred-write semantics need); compaction
+// preserves it too — a shadowed byte is simply written by its newest
+// writer instead of every writer.
 func (l *Log) drain() {
 	defer l.wg.Done()
 	for {
 		l.mu.Lock()
-		for len(l.queue) == 0 && !l.closed {
+		for len(l.queue) == 0 && len(l.sweeps) == 0 && !(l.closed && len(l.cohortQ) == 0) {
 			l.cond.Wait()
 		}
+		if len(l.sweeps) > 0 {
+			seg := l.sweeps[0]
+			l.sweeps = l.sweeps[1:]
+			l.finishSegLocked(seg)
+			l.mu.Unlock()
+			continue
+		}
 		if len(l.queue) == 0 {
-			// Closed and fully drained.
+			// Closed, fully drained, and no cohort can still publish.
 			l.mu.Unlock()
 			return
 		}
-		rec := l.queue[0]
-		l.queue = l.queue[1:]
+		batch := l.queue
+		l.queue = nil
+		l.draining = len(batch)
 		l.mu.Unlock()
 
-		err := l.apply(rec)
-		if err != nil {
-			l.drainErrors.Inc()
-		} else {
-			l.drained.Inc()
+		plans, skipped := compactBatch(batch)
+		if skipped > 0 {
+			l.compacted.Add(uint64(skipped))
 		}
-		if rec.done != nil {
-			rec.done(err)
-		}
-
-		l.mu.Lock()
-		rec.seg.pending--
-		l.liveBytes -= rec.frame
-		if rec.released != nil {
-			// Queued for the segment's release barrier: the durable copy
-			// outlives the apply until the whole segment is truncated.
-			rec.seg.releases = append(rec.seg.releases, rec.released)
-		}
-		if rec.seg.pending == 0 {
-			// About to give up the segment — the records' only durable
-			// copy. Flush the backend first, so a crash immediately after
-			// the truncate cannot lose an applied-but-unsynced record. On
-			// flush failure the rotated segment stays on disk for the next
-			// recovery (idempotent re-apply) and the active one keeps its
-			// bytes.
-			flushed := l.syncBackendCache() == nil
-			if rec.seg.rotated {
-				for i, s := range l.rotatedSegs {
-					if s == rec.seg {
-						l.rotatedSegs = append(l.rotatedSegs[:i], l.rotatedSegs[i+1:]...)
-						break
-					}
-				}
-				if flushed {
-					l.removeSegLocked(rec.seg)
-				} else {
-					l.drainErrors.Inc()
-					_ = rec.seg.f.Close()
-				}
-			} else if flushed {
-				// Active segment fully drained: rewind it in place so a
-				// quiet log stays one small file.
-				rec.seg.unflushed = false
-				if err := rec.seg.f.Truncate(0); err == nil {
-					rec.seg.size = 0
-					l.truncated.Inc()
-					l.releaseSegLocked(rec.seg)
-				}
+		for i := range batch {
+			rec := batch[i]
+			err := l.applySpans(rec, plans[i])
+			if err != nil {
+				l.drainErrors.Inc()
 			} else {
-				// Active segment drained but the backend flush failed: mark
-				// it so a later rotation keeps the file instead of dropping
-				// the records' only maybe-durable copy.
-				rec.seg.unflushed = true
+				l.drained.Inc()
+			}
+			if rec.done != nil {
+				rec.done(err)
+			}
+			if err != nil && l.cfg.DrainFailed != nil {
+				l.drainRepair.Inc()
+				l.cfg.DrainFailed(rec.name, rec.off, rec.n)
+			}
+
+			l.mu.Lock()
+			l.draining--
+			rec.seg.pending--
+			l.liveBytes -= rec.frame
+			if rec.released != nil {
+				// Queued for the segment's release barrier: the durable copy
+				// outlives the apply until the whole segment is truncated.
+				rec.seg.releases = append(rec.seg.releases, rec.released)
+			}
+			if rec.seg.pending == 0 && rec.seg.reserved == 0 {
+				l.finishSegLocked(rec.seg)
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// finishSegLocked runs the segment-completion barrier once a segment has
+// no pending or reserved records: flush the backend handles its records
+// wrote through, then remove (rotated) or rewind (active) the file and
+// fire the release callbacks. The segment is about to lose the records'
+// only durable copy, so the flush comes first — a crash immediately after
+// the truncate cannot lose an applied-but-unsynced record. On flush
+// failure the rotated segment stays on disk for the next recovery
+// (idempotent re-apply) and the active one keeps its bytes. Drainer-side
+// only (syncBackendCache touches the drainer's handle cache).
+func (l *Log) finishSegLocked(seg *segment) {
+	if seg.pending != 0 || seg.reserved != 0 {
+		// A sweep raced new reservations or appends; whoever completes them
+		// finishes the segment.
+		return
+	}
+	if seg.rotated {
+		found := false
+		for i, s := range l.rotatedSegs {
+			if s == seg {
+				l.rotatedSegs = append(l.rotatedSegs[:i], l.rotatedSegs[i+1:]...)
+				found = true
+				break
 			}
 		}
-		l.mu.Unlock()
+		if !found {
+			return // already finished by an earlier completion
+		}
+		if l.syncBackendCache() == nil {
+			l.removeSegLocked(seg)
+		} else {
+			l.drainErrors.Inc()
+			_ = seg.f.Close()
+		}
+		return
+	}
+	if seg.size == 0 && !seg.unflushed {
+		return // already rewound; nothing to flush or release
+	}
+	if l.syncBackendCache() == nil {
+		// Active segment fully drained: rewind it in place so a quiet log
+		// stays one small file.
+		seg.unflushed = false
+		if err := seg.f.Truncate(0); err == nil {
+			seg.size = 0
+			l.truncated.Inc()
+			l.releaseSegLocked(seg)
+		}
+	} else {
+		// Active segment drained but the backend flush failed: mark it so
+		// a later rotation keeps the file instead of dropping the records'
+		// only maybe-durable copy.
+		seg.unflushed = true
 	}
 }
 
@@ -626,14 +769,13 @@ func (l *Log) syncBackendCache() error {
 	return nil
 }
 
-// apply reads one record's payload back from its segment and writes it to
-// the backend, reusing the one-slot handle cache.
-func (l *Log) apply(rec record) error {
-	buf := make([]byte, rec.n)
-	if rec.n > 0 {
-		if _, err := rec.seg.f.ReadAt(buf, rec.dataPos); err != nil {
-			return fmt.Errorf("%w: reading back spilled record: %v", core.EIO, err)
-		}
+// applySpans reads a record's surviving byte ranges back from its segment
+// and writes them to the backend, reusing the one-slot handle cache. An
+// empty plan means the record was fully shadowed by newer records in the
+// same batch: nothing to write, the record succeeds vacuously.
+func (l *Log) applySpans(rec record, spans []span) error {
+	if len(spans) == 0 {
+		return nil
 	}
 	if l.cacheHandle == nil || l.cacheName != rec.name {
 		if l.cacheHandle != nil {
@@ -659,19 +801,27 @@ func (l *Log) apply(rec record) error {
 		}
 		l.cacheName, l.cacheHandle = rec.name, h
 	}
-	n, err := l.cacheHandle.WriteAt(buf, rec.off)
-	if err != nil {
-		return fmt.Errorf("%w: draining to %q: %v", core.EIO, rec.name, err)
-	}
-	if n < rec.n {
-		return fmt.Errorf("%w: short drain write (%d of %d bytes)", core.EIO, n, rec.n)
+	for _, sp := range spans {
+		n := int(sp.hi - sp.lo)
+		buf := make([]byte, n)
+		if _, err := rec.seg.f.ReadAt(buf, rec.dataPos+(sp.lo-rec.off)); err != nil {
+			return fmt.Errorf("%w: reading back spilled record: %v", core.EIO, err)
+		}
+		w, err := l.cacheHandle.WriteAt(buf, sp.lo)
+		if err != nil {
+			return fmt.Errorf("%w: draining to %q: %v", core.EIO, rec.name, err)
+		}
+		if w < n {
+			return fmt.Errorf("%w: short drain write (%d of %d bytes)", core.EIO, w, n)
+		}
 	}
 	return nil
 }
 
-// fire invokes the crash hook if one is installed. Called with l.mu held;
-// the production hook never returns (SIGKILL), and test hooks are plain
-// functions, so holding the lock across the call is safe.
+// fire invokes the crash hook if one is installed. cfg.Crash is immutable
+// after Open, so fire is safe with or without l.mu held (the batch-write
+// points fire outside the lock); the production hook never returns
+// (SIGKILL), and test hooks must be safe for concurrent use.
 func (l *Log) fire(point string) {
 	if l.cfg.Crash != nil {
 		l.cfg.Crash(point)
@@ -724,9 +874,15 @@ type Stats struct {
 	Torn      uint64
 	Truncated uint64
 	Syncs     uint64
-	LiveBytes int64
-	Lag       int
-	Segments  int
+	// GroupBatches is how many group-commit cohorts have published;
+	// Appends/GroupBatches is the realised fsync amortisation.
+	GroupBatches uint64
+	// CompactedBytes is how many spilled bytes the drainer skipped because
+	// newer records in the same batch covered them.
+	CompactedBytes uint64
+	LiveBytes      int64
+	Lag            int
+	Segments       int
 }
 
 // SnapshotStats returns current counters and occupancy.
@@ -734,16 +890,18 @@ func (l *Log) SnapshotStats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return Stats{
-		Appends:   l.appends.Value(),
-		Drained:   l.drained.Value(),
-		DrainErrs: l.drainErrors.Value(),
-		Replayed:  l.replayed.Value(),
-		Torn:      l.torn.Value(),
-		Truncated: l.truncated.Value(),
-		Syncs:     l.syncs.Value(),
-		LiveBytes: l.liveBytes,
-		Lag:       len(l.queue),
-		Segments:  l.segmentsLocked(),
+		Appends:        l.appends.Value(),
+		Drained:        l.drained.Value(),
+		DrainErrs:      l.drainErrors.Value(),
+		Replayed:       l.replayed.Value(),
+		Torn:           l.torn.Value(),
+		Truncated:      l.truncated.Value(),
+		Syncs:          l.syncs.Value(),
+		GroupBatches:   l.batchOps.Count(),
+		CompactedBytes: l.compacted.Value(),
+		LiveBytes:      l.liveBytes,
+		Lag:            len(l.queue) + l.draining,
+		Segments:       l.segmentsLocked(),
 	}
 }
 
@@ -776,6 +934,22 @@ func (l *Log) Register(reg *telemetry.Registry) {
 		"Segments truncated or removed after draining fully.", &l.truncated)
 	reg.MustRegister("iofwd_wal_syncs_total",
 		"fsyncs of the active segment.", &l.syncs)
+	reg.MustRegister("iofwd_wal_fsyncs_total",
+		"fsyncs of the active segment by reason.", &l.fsyncAppend, telemetry.L("reason", "append"))
+	reg.MustRegister("iofwd_wal_fsyncs_total",
+		"fsyncs of the active segment by reason.", &l.fsyncInterval, telemetry.L("reason", "interval"))
+	reg.MustRegister("iofwd_wal_fsyncs_total",
+		"fsyncs of the active segment by reason.", &l.fsyncRotate, telemetry.L("reason", "rotate"))
+	reg.MustRegister("iofwd_wal_fsyncs_total",
+		"fsyncs of the active segment by reason.", &l.fsyncBatch, telemetry.L("reason", "batch"))
+	reg.MustRegister("iofwd_wal_commit_batch_ops",
+		"Records per group-commit cohort (fsync amortisation).", &l.batchOps)
+	reg.MustRegister("iofwd_wal_commit_batch_bytes",
+		"Frame bytes per group-commit cohort.", &l.batchBytes)
+	reg.MustRegister("iofwd_wal_compacted_bytes_total",
+		"Spilled bytes skipped at drain: newer records in the batch covered them.", &l.compacted)
+	reg.MustRegister("iofwd_wal_drain_repair_enqueues_total",
+		"Drain/replay failures handed to the backend repair hook.", &l.drainRepair)
 	reg.GaugeFunc("iofwd_wal_bytes",
 		"Bytes on disk awaiting drain.", func() int64 {
 			l.mu.Lock()
@@ -786,7 +960,7 @@ func (l *Log) Register(reg *telemetry.Registry) {
 		"Appended records not yet applied to the backend.", func() int64 {
 			l.mu.Lock()
 			defer l.mu.Unlock()
-			return int64(len(l.queue))
+			return int64(len(l.queue) + l.draining)
 		})
 	reg.GaugeFunc("iofwd_wal_segments",
 		"Live segment files (active + rotated awaiting drain).", func() int64 {
